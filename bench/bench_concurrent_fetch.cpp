@@ -1,0 +1,124 @@
+// Ablation A8 — concurrent multi-site fetch (paper §4).
+//
+// "We note that the ability to transfer multiple files from various sites
+// concurrently can enhance the aggregate transfer rate to a client.  Using
+// this capability, one can choose to replicate popular collections in
+// multiple sites.  A RM can then plan concurrent file transfers to
+// maximize the number of different sites from which files are obtained."
+//
+// Three replica sites, each behind its own bottleneck uplink; six files,
+// two per site.  Sequential fetching pays each bottleneck in turn;
+// concurrent fetching (the request manager's per-file workers) drains all
+// three uplinks at once.
+#include "bench_util.hpp"
+
+using namespace esg;
+using common::Bytes;
+using common::kMillisecond;
+
+namespace {
+
+constexpr Bytes kFileSize = 150 * common::kMB;
+
+struct MultiSiteWorld {
+  sim::Simulation sim{8};
+  net::Network net{sim};
+  rpc::Orb orb{net};
+  security::CertificateAuthority ca{"/O=Grid/CN=ESG CA"};
+  gridftp::ServerRegistry registry;
+  std::vector<std::unique_ptr<gridftp::GridFtpServer>> servers;
+  std::unique_ptr<gridftp::GridFtpClient> client;
+
+  MultiSiteWorld() {
+    net.add_site("client-site");
+    for (int s = 0; s < 3; ++s) {
+      const std::string site = "site" + std::to_string(s);
+      net.add_site(site);
+      // Each site's uplink is its bottleneck.
+      net.add_link({.name = site + "-uplink", .site_a = site,
+                    .site_b = "client-site", .capacity = common::mbps(155),
+                    .latency = 10 * kMillisecond});
+      auto* h = net.add_host({.name = "server" + std::to_string(s),
+                              .site = site, .nic_rate = common::gbps(1),
+                              .cpu_rate = common::gbps(1),
+                              .disk_rate = common::gbps(1)});
+      security::GridMapFile gm;
+      gm.add("/O=Grid/CN=esg", "esg");
+      servers.push_back(std::make_unique<gridftp::GridFtpServer>(
+          orb, *h, std::make_shared<storage::HostStorage>(), ca, gm));
+      registry.add(servers.back().get());
+      for (int f = 0; f < 2; ++f) {
+        (void)servers.back()->storage().put(storage::FileObject::synthetic(
+            "f" + std::to_string(f), kFileSize));
+      }
+    }
+    // Client with a fat downlink: the sites are the bottlenecks.
+    auto* c = net.add_host({.name = "client", .site = "client-site",
+                            .nic_rate = common::gbps(1),
+                            .cpu_rate = common::gbps(1),
+                            .disk_rate = common::gbps(1)});
+    security::CredentialWallet wallet;
+    wallet.set_identity(ca.issue("/O=Grid/CN=esg", 0, 1000 * common::kHour));
+    client = std::make_unique<gridftp::GridFtpClient>(
+        orb, *c, std::make_shared<storage::HostStorage>(), std::move(wallet),
+        registry);
+  }
+
+  double fetch_all(bool concurrent) {
+    gridftp::TransferOptions opts;
+    opts.buffer_size = 2 * common::kMiB;
+    opts.parallelism = 2;
+    const auto t0 = sim.now();
+    int done = 0;
+    int launched = 0;
+    std::function<void()> launch_next = [&] {
+      if (launched >= 6) return;
+      const int i = launched++;
+      client->get({"server" + std::to_string(i / 2),
+                   "f" + std::to_string(i % 2)},
+                  "in/" + std::to_string(concurrent) + "/" +
+                      std::to_string(i),
+                  opts, nullptr, [&](gridftp::TransferResult) {
+                    ++done;
+                    launch_next();
+                  });
+    };
+    if (concurrent) {
+      for (int i = 0; i < 6; ++i) launch_next();
+    } else {
+      launch_next();
+    }
+    sim.run_while_pending([&] { return done == 6; });
+    return common::to_seconds(sim.now() - t0);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A8 — concurrent multi-site fetch vs sequential (RM worker model)");
+  std::printf(
+      "6 files of %s spread over 3 sites, each site behind its own\n"
+      "155 Mb/s uplink; client downlink is not the bottleneck.\n\n",
+      common::format_bytes(kFileSize).c_str());
+
+  MultiSiteWorld seq_world;
+  const double sequential = seq_world.fetch_all(false);
+  MultiSiteWorld conc_world;
+  const double concurrent = conc_world.fetch_all(true);
+
+  const double total = 6.0 * static_cast<double>(kFileSize);
+  std::printf("%-28s | %-10s | %s\n", "strategy", "makespan",
+              "aggregate rate");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  std::printf("%-28s | %7.1f s  | %s\n", "sequential (1 worker)", sequential,
+              common::format_rate(total / sequential).c_str());
+  std::printf("%-28s | %7.1f s  | %s\n", "concurrent (6 workers)", concurrent,
+              common::format_rate(total / concurrent).c_str());
+  std::printf(
+      "\nexpected shape: concurrency approaches the 3x of three independent\n"
+      "bottlenecks drained in parallel.  measured speedup: %.2fx\n",
+      sequential / concurrent);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation A10 — NWS dynamic predictor selection (paper §5; Wolski).
+//
+// The NWS's claim is that no single forecaster is best for every network
+// regime, but tracking cumulative error and always answering with the
+// current winner gets close to the per-regime best.  This bench scores the
+// whole battery plus the adaptive selector on five measurement regimes
+// (stationary noise, trend, level shift after an outage, diurnal sinusoid,
+// bursty congestion) and prints the MSE matrix.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "nws/forecast.hpp"
+
+using namespace esg;
+
+namespace {
+
+struct Regime {
+  const char* name;
+  std::function<double(int, common::Rng&)> value;
+};
+
+std::vector<Regime> regimes() {
+  return {
+      {"stationary noise",
+       [](int, common::Rng& rng) { return rng.normal(100.0, 12.0); }},
+      {"steady trend",
+       [](int i, common::Rng& rng) { return 0.4 * i + rng.normal(0.0, 2.0); }},
+      {"level shift (outage)",
+       [](int i, common::Rng& rng) {
+         return (i < 250 ? 90.0 : 25.0) + rng.normal(0.0, 4.0);
+       }},
+      {"diurnal sinusoid",
+       [](int i, common::Rng& rng) {
+         return 60.0 + 30.0 * std::sin(i / 20.0) + rng.normal(0.0, 3.0);
+       }},
+      {"bursty congestion",
+       [](int i, common::Rng& rng) {
+         const bool burst = ((i / 17) % 5) == 0;
+         return (burst ? 20.0 : 85.0) + rng.normal(0.0, 5.0);
+       }},
+  };
+}
+
+struct Scored {
+  std::string name;
+  std::function<std::unique_ptr<nws::Forecaster>()> make;
+};
+
+double score(nws::Forecaster& f, const Regime& regime, std::uint64_t seed) {
+  common::Rng rng(seed);
+  double se = 0.0;
+  int n = 0;
+  double prediction = 0.0;
+  bool have = false;
+  for (int i = 0; i < 500; ++i) {
+    const double v = regime.value(i, rng);
+    if (have) {
+      se += (prediction - v) * (prediction - v);
+      ++n;
+    }
+    f.observe(v);
+    prediction = f.predict();
+    have = true;
+  }
+  return se / n;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A10 — NWS forecaster battery vs adaptive selection (MSE per regime)");
+
+  std::vector<Scored> battery = {
+      {"last", [] { return nws::make_last_value(); }},
+      {"mean", [] { return nws::make_running_mean(); }},
+      {"mean10", [] { return nws::make_sliding_mean(10); }},
+      {"median10", [] { return nws::make_sliding_median(10); }},
+      {"exp0.2", [] { return nws::make_exp_smoothing(0.2); }},
+      {"exp0.5", [] { return nws::make_exp_smoothing(0.5); }},
+  };
+
+  std::printf("%-22s", "regime \\ forecaster");
+  for (const auto& m : battery) std::printf(" | %-8s", m.name.c_str());
+  std::printf(" | %-8s | winner\n", "ADAPTIVE");
+  std::printf("%s\n", std::string(22 + 11 * (battery.size() + 1) + 10, '-').c_str());
+
+  int adaptive_within_2x = 0;
+  const auto all = regimes();
+  for (const auto& regime : all) {
+    std::printf("%-22s", regime.name);
+    double best = 1e300;
+    std::string best_name;
+    for (const auto& member : battery) {
+      auto f = member.make();
+      const double mse = score(*f, regime, 7);
+      if (mse < best) {
+        best = mse;
+        best_name = member.name;
+      }
+      std::printf(" | %8.1f", mse);
+    }
+    nws::AdaptiveForecaster adaptive;
+    const double adaptive_mse = score(adaptive, regime, 7);
+    if (adaptive_mse <= 2.0 * best) ++adaptive_within_2x;
+    std::printf(" | %8.1f | %s\n", adaptive_mse, best_name.c_str());
+  }
+
+  std::printf(
+      "\nexpected shape: the per-regime winner changes (no single member\n"
+      "dominates), while ADAPTIVE stays within ~2x of the best member in\n"
+      "every regime — dynamic predictor selection's whole argument.\n"
+      "adaptive within 2x of best: %d / %zu regimes\n",
+      adaptive_within_2x, all.size());
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Shared helpers for the reproduction benches: paper-vs-measured table
+// printing, series sparklines, and a minimal two-site GridFTP world used by
+// the ablation benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/client.hpp"
+#include "sim/simulation.hpp"
+
+namespace esg::bench {
+
+/// One GridFTP server at site "src", one client host at site "dst", a
+/// single WAN link between them.  Each bench tweaks rates/latency/loss.
+struct SimpleWorld {
+  sim::Simulation sim{7};
+  net::Network net{sim};
+  rpc::Orb orb{net};
+  security::CertificateAuthority ca{"/O=Grid/CN=ESG CA"};
+  gridftp::ServerRegistry registry;
+  net::Host* server_host = nullptr;
+  net::Host* client_host = nullptr;
+  net::Link* wan = nullptr;
+  std::unique_ptr<gridftp::GridFtpServer> server;
+  std::unique_ptr<gridftp::GridFtpClient> client;
+
+  SimpleWorld(common::Rate link_rate, common::SimDuration one_way_latency,
+              double loss = 0.0,
+              net::HostConfig host_template = {.name = "", .site = "",
+                                               .nic_rate = common::gbps(1),
+                                               .cpu_rate = common::gbps(1),
+                                               .disk_rate = common::gbps(1)}) {
+    net.add_site("src");
+    net.add_site("dst");
+    wan = net.add_link({.name = "wan", .site_a = "src", .site_b = "dst",
+                        .capacity = link_rate, .latency = one_way_latency,
+                        .loss = loss});
+    auto src_cfg = host_template;
+    src_cfg.name = "server";
+    src_cfg.site = "src";
+    server_host = net.add_host(src_cfg);
+    auto dst_cfg = host_template;
+    dst_cfg.name = "client";
+    dst_cfg.site = "dst";
+    client_host = net.add_host(dst_cfg);
+
+    security::GridMapFile gm;
+    gm.add("/O=Grid/CN=esg", "esg");
+    server = std::make_unique<gridftp::GridFtpServer>(
+        orb, *server_host, std::make_shared<storage::HostStorage>(), ca, gm);
+    registry.add(server.get());
+    security::CredentialWallet wallet;
+    wallet.set_identity(ca.issue("/O=Grid/CN=esg", 0, 1000 * common::kHour));
+    client = std::make_unique<gridftp::GridFtpClient>(
+        orb, *client_host, std::make_shared<storage::HostStorage>(),
+        std::move(wallet), registry);
+  }
+
+  void add_file(const std::string& name, common::Bytes size) {
+    (void)server->storage().put(storage::FileObject::synthetic(name, size));
+  }
+
+  /// Fetch a file and return the elapsed simulated seconds (or -1 on error).
+  double timed_get(const std::string& name, gridftp::TransferOptions opts) {
+    bool done = false;
+    bool ok = false;
+    const auto t0 = sim.now();
+    client->get({"server", name}, "local/" + name +
+                    std::to_string(fetch_seq_++), opts, nullptr,
+                [&](gridftp::TransferResult r) {
+                  ok = r.status.ok();
+                  done = true;
+                });
+    sim.run_while_pending([&] { return done; });
+    return ok ? common::to_seconds(sim.now() - t0) : -1.0;
+  }
+
+ private:
+  std::uint64_t fetch_seq_ = 0;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+struct Row {
+  std::string metric;
+  std::string paper;
+  std::string measured;
+};
+
+inline void print_table(const std::vector<Row>& rows) {
+  std::size_t w0 = 6, w1 = 5;
+  for (const auto& r : rows) {
+    w0 = std::max(w0, r.metric.size());
+    w1 = std::max(w1, r.paper.size());
+  }
+  std::printf("%-*s | %-*s | %s\n", static_cast<int>(w0), "metric",
+              static_cast<int>(w1), "paper", "measured");
+  std::printf("%s\n", std::string(w0 + w1 + 16, '-').c_str());
+  for (const auto& r : rows) {
+    std::printf("%-*s | %-*s | %s\n", static_cast<int>(w0), r.metric.c_str(),
+                static_cast<int>(w1), r.paper.c_str(), r.measured.c_str());
+  }
+}
+
+/// Print a (time, rate) series as minute-resolution rows plus an ASCII
+/// sparkline — the Figure 8 shape at a glance.
+inline void print_series(
+    const std::vector<std::pair<common::SimTime, common::Rate>>& series,
+    common::SimDuration bucket, double full_scale_mbps) {
+  static const char kRamp[] = " _.-=+*#%@";
+  std::string line;
+  for (const auto& [t, r] : series) {
+    (void)t;
+    const double f = common::to_mbps(r) / full_scale_mbps;
+    const int idx = std::max(0, std::min(9, static_cast<int>(f * 9.0 + 0.5)));
+    line += kRamp[idx];
+  }
+  std::printf("bandwidth sparkline (one char per %s, full scale %.0f Mb/s):\n",
+              common::format_time(bucket).c_str(), full_scale_mbps);
+  // Wrap at 100 chars.
+  for (std::size_t i = 0; i < line.size(); i += 100) {
+    std::printf("  |%s|\n", line.substr(i, 100).c_str());
+  }
+}
+
+/// Aggregate a fine-grained sampler series into coarser buckets.
+inline std::vector<std::pair<common::SimTime, common::Rate>> coarsen(
+    const std::vector<std::pair<common::SimTime, common::Rate>>& series,
+    common::SimDuration from_bucket, common::SimDuration to_bucket) {
+  std::vector<std::pair<common::SimTime, common::Rate>> out;
+  if (series.empty() || to_bucket <= from_bucket) return series;
+  const auto factor =
+      static_cast<std::size_t>(to_bucket / from_bucket);
+  for (std::size_t i = 0; i < series.size(); i += factor) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < std::min(i + factor, series.size()); ++j) {
+      sum += series[j].second;
+      ++n;
+    }
+    out.emplace_back(series[i].first, n ? sum / n : 0.0);
+  }
+  return out;
+}
+
+}  // namespace esg::bench

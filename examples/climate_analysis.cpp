@@ -1,0 +1,122 @@
+// climate_analysis — the Figure 3 scenario.
+//
+// "Visualization of Climate Data.  Shown are Temperature (Color) and Clouds
+// and Terrain (in 3D)."  This example runs the full interactive-analysis
+// pipeline for three variables over two simulated years, computes seasonal
+// climatologies and anomalies on the client (as CDAT does), and writes PPM
+// images — the headless stand-ins for the VCDAT renderings.
+#include <cstdio>
+
+#include "climate/analysis.hpp"
+#include "climate/render.hpp"
+#include "esg/client.hpp"
+#include "esg/testbed.hpp"
+
+using namespace esg;
+
+int main() {
+  std::printf("== climate analysis (Fig 3 scenario) ==\n\n");
+
+  ::esg::esg::TestbedConfig cfg;
+  cfg.grid = climate::GridSpec{36, 72};
+  ::esg::esg::EsgTestbed testbed(cfg);
+
+  ::esg::esg::DatasetSpec spec;
+  spec.name = "pcmdi-coupled-r2";
+  spec.start_month = 36;
+  spec.n_months = 24;
+  spec.months_per_file = 12;
+  spec.replica_hosts = {"sprite.llnl.gov", "jupiter.isi.edu",
+                        "dataportal.ncar.edu"};
+  if (auto st = testbed.publish_dataset(spec); !st.ok()) {
+    std::printf("publish failed: %s\n", st.error().to_string().c_str());
+    return 1;
+  }
+  testbed.start_sensors(2);
+  ::esg::esg::EsgClient client(testbed);
+
+  for (const std::string variable :
+       {"temperature", "precipitation", "cloud_fraction"}) {
+    ::esg::esg::AnalysisRequest request;
+    request.dataset = spec.name;
+    request.variable = variable;
+    request.month_start = 36;
+    request.month_end = 60;
+    auto result = client.analyze_blocking(request);
+    if (!result.status.ok()) {
+      std::printf("%s: analysis failed: %s\n", variable.c_str(),
+                  result.status.error().to_string().c_str());
+      return 1;
+    }
+
+    std::printf("--- %s (%d months fetched, %s moved) ---\n",
+                variable.c_str(), result.field.ntime(),
+                common::format_bytes(result.transfer.total_bytes).c_str());
+
+    // Climatology + variability, CDAT-style, on the client.
+    const auto series = climate::global_mean_series(result.field);
+    double lo = series[0], hi = series[0];
+    for (double v : series) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::printf("global mean range over 24 months: %.2f .. %.2f %s\n", lo,
+                hi, result.field.units().c_str());
+
+    const auto anomalies = climate::anomaly(result.field);
+    const auto anomaly_stats = climate::field_stats(anomalies);
+    std::printf("anomaly stddev: %.2f %s\n", anomaly_stats.stddev,
+                result.field.units().c_str());
+
+    const std::string ppm = "esg_" + variable + "_mean.ppm";
+    if (climate::write_ppm(result.mean, ppm).ok()) {
+      std::printf("wrote %s (open with any PPM viewer)\n", ppm.c_str());
+    }
+    std::printf("%s\n", climate::render_ascii(result.mean).c_str());
+  }
+
+  // Cross-variable analysis: where do temperature and cloud cover move
+  // together?  (Both fetches hit the local chunk files via warm channels.)
+  {
+    ::esg::esg::AnalysisRequest t_req;
+    t_req.dataset = spec.name;
+    t_req.variable = "temperature";
+    t_req.month_start = 36;
+    t_req.month_end = 60;
+    ::esg::esg::AnalysisRequest c_req = t_req;
+    c_req.variable = "cloud_fraction";
+    auto t_res = client.analyze_blocking(t_req);
+    auto c_res = client.analyze_blocking(c_req);
+    if (t_res.status.ok() && c_res.status.ok()) {
+      auto corr = climate::correlation(t_res.field, c_res.field);
+      if (corr.ok()) {
+        auto stats = climate::field_stats(*corr);
+        std::printf(
+            "temperature-cloud correlation: range [%.2f, %.2f], mean %.2f\n\n",
+            stats.min, stats.max, stats.mean);
+      }
+    }
+  }
+
+  // Zonal structure of temperature — the classic pole-to-pole profile.
+  ::esg::esg::AnalysisRequest request;
+  request.dataset = spec.name;
+  request.variable = "temperature";
+  request.month_start = 36;
+  request.month_end = 48;
+  auto result = client.analyze_blocking(request);
+  if (result.status.ok()) {
+    const auto zonal = climate::zonal_mean(climate::time_mean(result.field));
+    std::printf("zonal mean temperature (degC) by latitude:\n");
+    const auto& g = zonal.grid();
+    for (int i = g.nlat - 1; i >= 0; i -= 3) {
+      const double v = zonal.at(0, i, 0);
+      std::printf("  %+6.1f deg: %6.1f |%s\n", g.lat(i), v,
+                  std::string(static_cast<std::size_t>(
+                                  std::max(0.0, (v + 40.0) / 2.0)),
+                              '#')
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "climate/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace esg::climate {
+
+Field time_mean(const Field& field) {
+  const auto& g = field.grid();
+  Field out(g, 1, field.variable(), field.units());
+  const double nt = std::max(1, field.ntime());
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      double sum = 0.0;
+      for (int t = 0; t < field.ntime(); ++t) sum += field.at(t, i, j);
+      out.at(0, i, j) = sum / nt;
+    }
+  }
+  return out;
+}
+
+Field anomaly(const Field& field) {
+  const Field mean = time_mean(field);
+  const auto& g = field.grid();
+  Field out(g, field.ntime(), field.variable() + "_anom", field.units());
+  for (int t = 0; t < field.ntime(); ++t) {
+    for (int i = 0; i < g.nlat; ++i) {
+      for (int j = 0; j < g.nlon; ++j) {
+        out.at(t, i, j) = field.at(t, i, j) - mean.at(0, i, j);
+      }
+    }
+  }
+  return out;
+}
+
+Field zonal_mean(const Field& field) {
+  const auto& g = field.grid();
+  GridSpec zg = g;
+  zg.nlon = 1;
+  Field out(zg, field.ntime(), field.variable() + "_zonal", field.units());
+  for (int t = 0; t < field.ntime(); ++t) {
+    for (int i = 0; i < g.nlat; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < g.nlon; ++j) sum += field.at(t, i, j);
+      out.at(t, i, 0) = sum / g.nlon;
+    }
+  }
+  return out;
+}
+
+std::vector<double> global_mean_series(const Field& field) {
+  const auto& g = field.grid();
+  std::vector<double> weights(g.nlat);
+  double wsum = 0.0;
+  for (int i = 0; i < g.nlat; ++i) {
+    weights[i] = std::cos(g.lat(i) * 3.14159265358979323846 / 180.0);
+    wsum += weights[i];
+  }
+  std::vector<double> out(field.ntime(), 0.0);
+  for (int t = 0; t < field.ntime(); ++t) {
+    double acc = 0.0;
+    for (int i = 0; i < g.nlat; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < g.nlon; ++j) row += field.at(t, i, j);
+      acc += weights[i] * row / g.nlon;
+    }
+    out[t] = acc / wsum;
+  }
+  return out;
+}
+
+Field regrid(const Field& field, const GridSpec& target) {
+  const auto& g = field.grid();
+  Field out(target, field.ntime(), field.variable(), field.units());
+  for (int t = 0; t < field.ntime(); ++t) {
+    for (int i = 0; i < target.nlat; ++i) {
+      // Fractional source row for the target latitude.
+      const double fi =
+          (target.lat(i) + 90.0) / 180.0 * g.nlat - 0.5;
+      const int i0 = std::clamp(static_cast<int>(std::floor(fi)), 0,
+                                g.nlat - 1);
+      const int i1 = std::min(i0 + 1, g.nlat - 1);
+      const double wi = std::clamp(fi - i0, 0.0, 1.0);
+      for (int j = 0; j < target.nlon; ++j) {
+        const double fj = target.lon(j) / 360.0 * g.nlon - 0.5;
+        int j0 = static_cast<int>(std::floor(fj));
+        const double wj = fj - j0;
+        // Longitude wraps.
+        j0 = ((j0 % g.nlon) + g.nlon) % g.nlon;
+        const int j1 = (j0 + 1) % g.nlon;
+        const double v =
+            (1 - wi) * ((1 - wj) * field.at(t, i0, j0) +
+                        wj * field.at(t, i0, j1)) +
+            wi * ((1 - wj) * field.at(t, i1, j0) + wj * field.at(t, i1, j1));
+        out.at(t, i, j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+common::Result<Field> difference(const Field& a, const Field& b) {
+  if (!(a.grid() == b.grid()) || a.ntime() != b.ntime()) {
+    return common::Error{common::Errc::invalid_argument,
+                         "field shape mismatch in difference"};
+  }
+  Field out(a.grid(), a.ntime(), a.variable() + "_diff", a.units());
+  for (std::size_t k = 0; k < a.data().size(); ++k) {
+    out.data()[k] = a.data()[k] - b.data()[k];
+  }
+  return out;
+}
+
+Field seasonal_climatology(const Field& field, int first_month_of_year) {
+  const auto& g = field.grid();
+  Field out(g, 12, field.variable() + "_clim", field.units());
+  std::vector<int> counts(12, 0);
+  for (int t = 0; t < field.ntime(); ++t) {
+    ++counts[(first_month_of_year + t) % 12];
+  }
+  for (int t = 0; t < field.ntime(); ++t) {
+    const int m = (first_month_of_year + t) % 12;
+    for (int i = 0; i < g.nlat; ++i) {
+      for (int j = 0; j < g.nlon; ++j) {
+        out.at(m, i, j) += field.at(t, i, j) / std::max(1, counts[m]);
+      }
+    }
+  }
+  return out;
+}
+
+Field linear_trend(const Field& field) {
+  const auto& g = field.grid();
+  Field out(g, 1, field.variable() + "_trend", field.units() + "/step");
+  const int n = field.ntime();
+  if (n < 2) return out;
+  // x = 0..n-1: precompute the x moments once.
+  const double mean_x = (n - 1) / 2.0;
+  double sxx = 0.0;
+  for (int t = 0; t < n; ++t) sxx += (t - mean_x) * (t - mean_x);
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      double mean_y = 0.0;
+      for (int t = 0; t < n; ++t) mean_y += field.at(t, i, j);
+      mean_y /= n;
+      double sxy = 0.0;
+      for (int t = 0; t < n; ++t) {
+        sxy += (t - mean_x) * (field.at(t, i, j) - mean_y);
+      }
+      out.at(0, i, j) = sxy / sxx;
+    }
+  }
+  return out;
+}
+
+common::Result<Field> correlation(const Field& a, const Field& b) {
+  if (!(a.grid() == b.grid()) || a.ntime() != b.ntime()) {
+    return common::Error{common::Errc::invalid_argument,
+                         "field shape mismatch in correlation"};
+  }
+  const auto& g = a.grid();
+  const int n = a.ntime();
+  Field out(g, 1, a.variable() + "_corr_" + b.variable(), "1");
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      double ma = 0.0, mb = 0.0;
+      for (int t = 0; t < n; ++t) {
+        ma += a.at(t, i, j);
+        mb += b.at(t, i, j);
+      }
+      ma /= n;
+      mb /= n;
+      double saa = 0.0, sbb = 0.0, sab = 0.0;
+      for (int t = 0; t < n; ++t) {
+        const double da = a.at(t, i, j) - ma;
+        const double db = b.at(t, i, j) - mb;
+        saa += da * da;
+        sbb += db * db;
+        sab += da * db;
+      }
+      out.at(0, i, j) =
+          (saa > 0.0 && sbb > 0.0) ? sab / std::sqrt(saa * sbb) : 0.0;
+    }
+  }
+  return out;
+}
+
+FieldStats field_stats(const Field& field) {
+  common::OnlineStats s;
+  for (double v : field.data()) s.add(v);
+  return FieldStats{s.min(), s.max(), s.mean(), s.stddev()};
+}
+
+}  // namespace esg::climate

@@ -1,0 +1,52 @@
+// CDAT-style analysis operations (paper §3: "The CDAT data analysis package
+// ... provides a flexible system for analysis of climate model data.
+// Analysis then proceeds in the client, as usual.").
+#pragma once
+
+#include "climate/field.hpp"
+#include "common/result.hpp"
+
+namespace esg::climate {
+
+/// Mean over the time axis; result has ntime == 1.
+Field time_mean(const Field& field);
+
+/// Deviation of every time step from the time mean.
+Field anomaly(const Field& field);
+
+/// Mean over longitudes: per (time, lat) values, returned as a field with
+/// nlon == 1.
+Field zonal_mean(const Field& field);
+
+/// Area-weighted (cos latitude) global mean per time step.
+std::vector<double> global_mean_series(const Field& field);
+
+/// Bilinear regrid of every time step onto a new grid.
+Field regrid(const Field& field, const GridSpec& target);
+
+/// Pointwise difference a - b (grids and ntime must match).
+common::Result<Field> difference(const Field& a, const Field& b);
+
+/// Monthly climatology: mean per calendar month (ntime == 12).
+/// `first_month_of_year` says which calendar month (0 = Jan) time step 0
+/// is; the input should span whole years for an unbiased climatology.
+Field seasonal_climatology(const Field& field, int first_month_of_year = 0);
+
+/// Least-squares linear trend per cell, in units per time step
+/// (ntime == 1).  Needs at least 2 time steps.
+Field linear_trend(const Field& field);
+
+/// Pearson correlation of two fields' time series per cell (ntime == 1,
+/// values in [-1, 1]; 0 where either series is constant).
+common::Result<Field> correlation(const Field& a, const Field& b);
+
+struct FieldStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+FieldStats field_stats(const Field& field);
+
+}  // namespace esg::climate

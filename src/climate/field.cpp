@@ -1,0 +1,23 @@
+#include "climate/field.hpp"
+
+namespace esg::climate {
+
+std::vector<double> Field::slice(int t) const {
+  const std::size_t n = grid_.cells();
+  std::vector<double> out(n);
+  const std::size_t base = static_cast<std::size_t>(t) * n;
+  for (std::size_t k = 0; k < n; ++k) out[k] = data_[base + k];
+  return out;
+}
+
+common::Status Field::append_time(const Field& other) {
+  if (!(other.grid_ == grid_)) {
+    return common::Error{common::Errc::invalid_argument,
+                         "grid mismatch appending field"};
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  ntime_ += other.ntime_;
+  return common::ok_status();
+}
+
+}  // namespace esg::climate

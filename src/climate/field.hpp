@@ -1,0 +1,74 @@
+// Gridded climate fields: a regular lat-lon grid with a time axis, the unit
+// of data CDAT-style analysis works on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace esg::climate {
+
+/// Regular global grid: `nlat` rows from -90..90, `nlon` columns 0..360.
+struct GridSpec {
+  int nlat = 36;
+  int nlon = 72;
+
+  double lat(int i) const {
+    return -90.0 + (i + 0.5) * 180.0 / nlat;
+  }
+  double lon(int j) const { return (j + 0.5) * 360.0 / nlon; }
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nlat) * static_cast<std::size_t>(nlon);
+  }
+  bool operator==(const GridSpec& o) const {
+    return nlat == o.nlat && nlon == o.nlon;
+  }
+};
+
+/// (time, lat, lon) field, row-major with time outermost.
+class Field {
+ public:
+  Field() = default;
+  Field(GridSpec grid, int ntime, std::string variable = {},
+        std::string units = {})
+      : grid_(grid),
+        ntime_(ntime),
+        variable_(std::move(variable)),
+        units_(std::move(units)),
+        data_(static_cast<std::size_t>(ntime) * grid.cells(), 0.0) {}
+
+  const GridSpec& grid() const { return grid_; }
+  int ntime() const { return ntime_; }
+  const std::string& variable() const { return variable_; }
+  const std::string& units() const { return units_; }
+  void set_variable(std::string v) { variable_ = std::move(v); }
+
+  double& at(int t, int i, int j) {
+    return data_[index(t, i, j)];
+  }
+  double at(int t, int i, int j) const { return data_[index(t, i, j)]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// First time slice of the month offset `t` as a flat lat-lon vector.
+  std::vector<double> slice(int t) const;
+
+  /// Append another field's time steps (grids must match).
+  common::Status append_time(const Field& other);
+
+ private:
+  std::size_t index(int t, int i, int j) const {
+    return (static_cast<std::size_t>(t) * grid_.nlat + i) * grid_.nlon + j;
+  }
+
+  GridSpec grid_;
+  int ntime_ = 0;
+  std::string variable_;
+  std::string units_;
+  std::vector<double> data_;
+};
+
+}  // namespace esg::climate

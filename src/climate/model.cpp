@@ -1,0 +1,163 @@
+#include "climate/model.hpp"
+
+#include <cmath>
+
+#include "common/bytebuf.hpp"
+
+namespace esg::climate {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Deterministic unit-normal-ish noise from a hash of the coordinates, so a
+/// month's field is identical no matter where or in what order it is
+/// generated (replicas must agree byte-for-byte).
+double hash_noise(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  std::uint64_t s = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xC2B2AE3D27D4EB4FULL) ^ (c * 0x165667B19E3779F9ULL);
+  const std::uint64_t r1 = common::splitmix64(s);
+  const std::uint64_t r2 = common::splitmix64(s);
+  // Sum of two uniforms, centered: triangular ~ normal enough here.
+  const double u1 = static_cast<double>(r1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(r2 >> 11) * 0x1.0p-53;
+  return (u1 + u2 - 1.0) * 1.732;  // unit variance-ish
+}
+
+}  // namespace
+
+ClimateModel::ClimateModel(ModelConfig config) : config_(config) {
+  // Fixed terrain: a handful of seeded Gaussian hills.
+  const auto& g = config_.grid;
+  terrain_.assign(g.cells(), 0.0);
+  common::Rng rng(config_.seed);
+  const int hills = 8;
+  for (int h = 0; h < hills; ++h) {
+    const double ci = rng.uniform(0.0, g.nlat);
+    const double cj = rng.uniform(0.0, g.nlon);
+    const double amp = rng.uniform(0.5, 2.0);
+    const double width = rng.uniform(2.0, 6.0);
+    for (int i = 0; i < g.nlat; ++i) {
+      for (int j = 0; j < g.nlon; ++j) {
+        // Wrap longitude distance.
+        double dj = std::abs(j - cj);
+        dj = std::min(dj, g.nlon - dj);
+        const double di = i - ci;
+        const double d2 = (di * di + dj * dj) / (width * width);
+        terrain_[static_cast<std::size_t>(i) * g.nlon + j] +=
+            amp * std::exp(-d2);
+      }
+    }
+  }
+}
+
+double ClimateModel::terrain(int i, int j) const {
+  return terrain_[static_cast<std::size_t>(i) * config_.grid.nlon + j];
+}
+
+double ClimateModel::cell_value(const std::string& variable, int month, int i,
+                                int j, double noise) const {
+  const auto& g = config_.grid;
+  const double lat = g.lat(i);
+  const double phase = 2.0 * kPi * (month % 12) / 12.0;
+  // Seasonal forcing flips sign across the equator.
+  const double season = std::cos(phase) * (lat >= 0 ? 1.0 : -1.0);
+  // Slow ENSO-like mode, ~4-year period, strongest in the tropics.
+  const double enso = std::sin(2.0 * kPi * month / 50.0) *
+                      std::exp(-(lat * lat) / (30.0 * 30.0));
+
+  if (variable == "temperature") {
+    const double base = 28.0 - 55.0 * std::pow(std::sin(lat * kPi / 180.0), 2);
+    return base - 8.0 * season - 4.0 * terrain(i, j) + 1.5 * enso +
+           1.2 * noise;
+  }
+  if (variable == "precipitation") {
+    // mm/day: ITCZ band + storm tracks, scaled positive.
+    const double itcz = 8.0 * std::exp(-(lat * lat) / (12.0 * 12.0));
+    const double storm =
+        3.0 * std::exp(-std::pow((std::abs(lat) - 45.0) / 12.0, 2));
+    const double value =
+        itcz + storm + 1.0 * terrain(i, j) + 1.5 * enso + 1.0 * noise;
+    return value < 0.0 ? 0.0 : value;
+  }
+  // cloud_fraction in [0, 1].
+  const double base = 0.45 + 0.25 * std::exp(-(lat * lat) / (15.0 * 15.0)) +
+                      0.1 * season * 0.3 + 0.08 * terrain(i, j) +
+                      0.07 * noise;
+  return base < 0.0 ? 0.0 : (base > 1.0 ? 1.0 : base);
+}
+
+Field ClimateModel::generate(const std::string& variable, int month0,
+                             int count) const {
+  const auto& g = config_.grid;
+  Field field(g, count, variable, units_of(variable));
+  const std::uint64_t vseed = config_.seed ^ common::fnv1a64(variable);
+  for (int t = 0; t < count; ++t) {
+    const int month = month0 + t;
+    for (int i = 0; i < g.nlat; ++i) {
+      for (int j = 0; j < g.nlon; ++j) {
+        const auto ui = static_cast<std::uint64_t>(i);
+        const auto uj = static_cast<std::uint64_t>(j);
+        // Truncated AR(1): weather noise with month-to-month memory, yet
+        // stateless per (variable, month, cell).
+        const double e0 = hash_noise(vseed, static_cast<std::uint64_t>(month),
+                                     ui, uj);
+        const double e1 = hash_noise(
+            vseed, static_cast<std::uint64_t>(month - 1), ui, uj);
+        const double e2 = hash_noise(
+            vseed, static_cast<std::uint64_t>(month - 2), ui, uj);
+        const double noise = (e0 + 0.6 * e1 + 0.36 * e2) / 1.22;
+        field.at(t, i, j) = cell_value(variable, month, i, j, noise);
+      }
+    }
+  }
+  return field;
+}
+
+const std::vector<std::string>& ClimateModel::variables() {
+  static const std::vector<std::string> kVars = {"temperature",
+                                                 "precipitation",
+                                                 "cloud_fraction"};
+  return kVars;
+}
+
+std::string ClimateModel::units_of(const std::string& variable) {
+  if (variable == "temperature") return "degC";
+  if (variable == "precipitation") return "mm/day";
+  if (variable == "cloud_fraction") return "1";
+  return "";
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> ClimateModel::write_chunk(
+    int month0, int count) const {
+  const auto& g = config_.grid;
+  ncformat::NcxWriter w;
+  w.add_dimension("time", static_cast<std::uint32_t>(count));
+  w.add_dimension("lat", static_cast<std::uint32_t>(g.nlat));
+  w.add_dimension("lon", static_cast<std::uint32_t>(g.nlon));
+  w.add_global_attr("source", "esg synthetic climate model");
+  w.add_global_attr("base_year", std::to_string(config_.base_year));
+  w.add_global_attr("month0", std::to_string(month0));
+
+  // Coordinate variables.
+  std::vector<double> lat(g.nlat), lon(g.nlon), time(count);
+  for (int i = 0; i < g.nlat; ++i) lat[i] = g.lat(i);
+  for (int j = 0; j < g.nlon; ++j) lon[j] = g.lon(j);
+  for (int t = 0; t < count; ++t) time[t] = month0 + t;
+  (void)w.add_variable("lat", ncformat::DataType::f64, {"lat"}, lat,
+                       {{"units", "degrees_north"}});
+  (void)w.add_variable("lon", ncformat::DataType::f64, {"lon"}, lon,
+                       {{"units", "degrees_east"}});
+  (void)w.add_variable("time", ncformat::DataType::f64, {"time"}, time,
+                       {{"units", "months since base_year"}});
+
+  for (const auto& var : variables()) {
+    const Field f = generate(var, month0, count);
+    (void)w.add_variable(var, ncformat::DataType::f32, {"time", "lat", "lon"},
+                         f.data(), {{"units", units_of(var)}});
+  }
+  return w.finish();
+}
+
+}  // namespace esg::climate

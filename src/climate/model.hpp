@@ -1,0 +1,55 @@
+// Synthetic climate-model output generator.
+//
+// Stands in for the PCMDI model runs the paper visualizes (temperature,
+// precipitation, cloud cover — Fig 3).  Fields are physically plausible
+// rather than physically accurate: a latitudinal climatology, a seasonal
+// cycle whose phase flips hemisphere, fixed "terrain" structure from seeded
+// Gaussian hills, a slow ENSO-like oscillation, and AR(1) weather noise.
+// Everything derives deterministically from the seed, so replicated files
+// generated at different sites are bit-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "climate/field.hpp"
+#include "common/rng.hpp"
+#include "ncformat/ncx.hpp"
+
+namespace esg::climate {
+
+struct ModelConfig {
+  GridSpec grid;
+  std::uint64_t seed = 2001;
+  int base_year = 1995;  // month index 0 = January of this year
+};
+
+class ClimateModel {
+ public:
+  explicit ClimateModel(ModelConfig config);
+
+  /// Generate `count` consecutive months of a variable starting at absolute
+  /// month index `month0` (0 = Jan of base_year).
+  Field generate(const std::string& variable, int month0, int count) const;
+
+  /// Variables this model produces.
+  static const std::vector<std::string>& variables();
+  static std::string units_of(const std::string& variable);
+
+  /// Encode months [month0, month0+count) of every variable into one ncx
+  /// file — the shape of a CDMS dataset time-chunk file.
+  std::shared_ptr<const std::vector<std::uint8_t>> write_chunk(
+      int month0, int count) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  double terrain(int i, int j) const;
+  double cell_value(const std::string& variable, int month, int i, int j,
+                    double noise) const;
+
+  ModelConfig config_;
+  std::vector<double> terrain_;  // seeded Gaussian hills, fixed per model
+};
+
+}  // namespace esg::climate

@@ -1,0 +1,103 @@
+#include "climate/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "climate/analysis.hpp"
+
+namespace esg::climate {
+
+std::string render_ascii(const Field& field, int t) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  const auto stats = field_stats(field);
+  const double lo = stats.min;
+  const double span = stats.max - stats.min;
+
+  std::ostringstream os;
+  os << field.variable() << " [" << field.units() << "]  min=" << stats.min
+     << " max=" << stats.max << " mean=" << stats.mean << "\n";
+  const auto& g = field.grid();
+  // Render north at the top.
+  for (int i = g.nlat - 1; i >= 0; --i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      const double v = field.at(t, i, j);
+      const int level =
+          span > 0 ? std::clamp(static_cast<int>((v - lo) / span * kLevels),
+                                0, kLevels)
+                   : 0;
+      os << kRamp[level];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void diverging_color(double x, std::uint8_t rgb[3]) {
+  // x in [0,1]: blue (0) -> white (0.5) -> red (1).
+  x = std::clamp(x, 0.0, 1.0);
+  if (x < 0.5) {
+    const double f = x * 2.0;
+    rgb[0] = static_cast<std::uint8_t>(60 + 195 * f);
+    rgb[1] = static_cast<std::uint8_t>(80 + 175 * f);
+    rgb[2] = 255;
+  } else {
+    const double f = (x - 0.5) * 2.0;
+    rgb[0] = 255;
+    rgb[1] = static_cast<std::uint8_t>(255 - 175 * f);
+    rgb[2] = static_cast<std::uint8_t>(255 - 195 * f);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> render_ppm(const Field& field, int t, int scale) {
+  const auto& g = field.grid();
+  const auto stats = field_stats(field);
+  const double lo = stats.min;
+  const double span = stats.max - stats.min;
+  const int width = g.nlon * scale;
+  const int height = g.nlat * scale;
+
+  std::vector<std::uint8_t> out;
+  char header[64];
+  const int n = std::snprintf(header, sizeof header, "P6\n%d %d\n255\n",
+                              width, height);
+  out.insert(out.end(), header, header + n);
+  out.reserve(out.size() + 3u * width * height);
+
+  for (int y = 0; y < height; ++y) {
+    const int i = g.nlat - 1 - y / scale;  // north at top
+    for (int x = 0; x < width; ++x) {
+      const int j = x / scale;
+      const double v = field.at(t, i, j);
+      const double f = span > 0 ? (v - lo) / span : 0.5;
+      std::uint8_t rgb[3];
+      diverging_color(f, rgb);
+      out.push_back(rgb[0]);
+      out.push_back(rgb[1]);
+      out.push_back(rgb[2]);
+    }
+  }
+  return out;
+}
+
+common::Status write_ppm(const Field& field, const std::string& path, int t,
+                         int scale) {
+  const auto bytes = render_ppm(field, t, scale);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Error{common::Errc::io_error, "cannot open " + path};
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return common::Error{common::Errc::io_error, "short write to " + path};
+  }
+  return common::ok_status();
+}
+
+}  // namespace esg::climate

@@ -1,0 +1,30 @@
+// Headless renderers — the Fig 3 stand-in.
+//
+// VCDAT drew temperature, clouds and terrain in 3D; our renderers produce
+// an ASCII heat map for terminals and a PPM image (blue-white-red ramp) for
+// files, from any single time slice of a Field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "climate/field.hpp"
+#include "common/result.hpp"
+
+namespace esg::climate {
+
+/// ASCII heat map of time slice `t`; one character per cell, darker
+/// characters for higher values, annotated with the value range.
+std::string render_ascii(const Field& field, int t = 0);
+
+/// PPM (P6) image of time slice `t`, `scale` pixels per cell, blue-to-red
+/// diverging ramp.
+std::vector<std::uint8_t> render_ppm(const Field& field, int t = 0,
+                                     int scale = 4);
+
+/// Write a PPM rendering to disk.
+common::Status write_ppm(const Field& field, const std::string& path,
+                         int t = 0, int scale = 4);
+
+}  // namespace esg::climate

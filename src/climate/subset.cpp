@@ -1,0 +1,210 @@
+#include "climate/subset.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+#include "ncformat/ncx.hpp"
+
+namespace esg::climate {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+std::string SubsetSpec::to_params() const {
+  std::string out;
+  auto append = [&out](const std::string& clause) {
+    if (!out.empty()) out += ';';
+    out += clause;
+  };
+  if (variable) append("var=" + *variable);
+  if (months) {
+    append("months=" + std::to_string(months->first) + ":" +
+           std::to_string(months->second));
+  }
+  if (lat) {
+    append("lat=" + std::to_string(lat->first) + ":" +
+           std::to_string(lat->second));
+  }
+  if (lon) {
+    append("lon=" + std::to_string(lon->first) + ":" +
+           std::to_string(lon->second));
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::pair<double, double>> parse_range(const std::string& text,
+                                              const std::string& clause) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Error{Errc::invalid_argument, "bad range in " + clause};
+  }
+  char* end1 = nullptr;
+  char* end2 = nullptr;
+  const double lo = std::strtod(text.c_str(), &end1);
+  const double hi = std::strtod(text.c_str() + colon + 1, &end2);
+  if (end1 != text.c_str() + colon || (end2 && *end2 != '\0')) {
+    return Error{Errc::invalid_argument, "bad range in " + clause};
+  }
+  if (lo > hi) {
+    return Error{Errc::invalid_argument, "inverted range in " + clause};
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace
+
+Result<SubsetSpec> parse_subset_params(const std::string& params) {
+  SubsetSpec spec;
+  for (const auto& clause : common::split_trimmed(params, ';')) {
+    const auto eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Error{Errc::invalid_argument, "bad subset clause: " + clause};
+    }
+    const std::string key = common::to_lower(clause.substr(0, eq));
+    const std::string value = clause.substr(eq + 1);
+    if (key == "var") {
+      spec.variable = value;
+    } else if (key == "months") {
+      auto range = parse_range(value, clause);
+      if (!range) return range.error();
+      spec.months = std::make_pair(static_cast<int>(range->first),
+                                   static_cast<int>(range->second));
+    } else if (key == "lat") {
+      auto range = parse_range(value, clause);
+      if (!range) return range.error();
+      spec.lat = *range;
+    } else if (key == "lon") {
+      auto range = parse_range(value, clause);
+      if (!range) return range.error();
+      spec.lon = *range;
+    } else {
+      return Error{Errc::invalid_argument, "unknown subset key: " + key};
+    }
+  }
+  return spec;
+}
+
+Result<storage::FileObject> ncx_subset(const storage::FileObject& file,
+                                       const SubsetSpec& spec) {
+  if (!file.content) {
+    return Error{Errc::invalid_argument,
+                 "subsetting needs file content: " + file.name};
+  }
+  auto reader = ncformat::NcxReader::open(file.content);
+  if (!reader) return reader.error();
+
+  auto ntime = reader->dimension_size("time");
+  auto nlat = reader->dimension_size("lat");
+  auto nlon = reader->dimension_size("lon");
+  if (!ntime || !nlat || !nlon) {
+    return Error{Errc::invalid_argument, "not a climate chunk: " + file.name};
+  }
+  auto lat_coord = reader->read("lat");
+  auto lon_coord = reader->read("lon");
+  auto time_coord = reader->read("time");
+  if (!lat_coord || !lon_coord || !time_coord) {
+    return Error{Errc::invalid_argument, "chunk missing coordinates"};
+  }
+  const auto& gattrs = reader->global_attrs();
+  const int month0 =
+      gattrs.count("month0") ? std::atoi(gattrs.at("month0").c_str()) : 0;
+
+  // Resolve index windows.
+  std::uint32_t t0 = 0, tc = *ntime;
+  if (spec.months) {
+    const int lo = std::max(spec.months->first, month0);
+    const int hi = std::min(spec.months->second,
+                            month0 + static_cast<int>(*ntime));
+    if (lo >= hi) {
+      return Error{Errc::invalid_argument,
+                   "month range misses file coverage"};
+    }
+    t0 = static_cast<std::uint32_t>(lo - month0);
+    tc = static_cast<std::uint32_t>(hi - lo);
+  }
+  auto window = [](const std::vector<double>& coords, double lo, double hi)
+      -> std::pair<std::uint32_t, std::uint32_t> {
+    std::uint32_t first = 0;
+    while (first < coords.size() && coords[first] < lo) ++first;
+    std::uint32_t last = first;
+    while (last < coords.size() && coords[last] <= hi) ++last;
+    return {first, last - first};
+  };
+  std::uint32_t i0 = 0, ic = *nlat;
+  if (spec.lat) {
+    std::tie(i0, ic) = window(*lat_coord, spec.lat->first, spec.lat->second);
+    if (ic == 0) {
+      return Error{Errc::invalid_argument, "latitude box selects no rows"};
+    }
+  }
+  std::uint32_t j0 = 0, jc = *nlon;
+  if (spec.lon) {
+    std::tie(j0, jc) = window(*lon_coord, spec.lon->first, spec.lon->second);
+    if (jc == 0) {
+      return Error{Errc::invalid_argument, "longitude box selects no columns"};
+    }
+  }
+
+  // Pick the data variables to keep.
+  std::vector<std::string> kept;
+  for (const auto& name : reader->variable_names()) {
+    if (name == "lat" || name == "lon" || name == "time") continue;
+    if (!spec.variable || name == *spec.variable) kept.push_back(name);
+  }
+  if (kept.empty()) {
+    return Error{Errc::not_found,
+                 "no such variable: " + spec.variable.value_or("?")};
+  }
+
+  // Build the subset file.
+  ncformat::NcxWriter w;
+  w.add_dimension("time", tc);
+  w.add_dimension("lat", ic);
+  w.add_dimension("lon", jc);
+  for (const auto& [k, v] : gattrs) {
+    if (k == "month0") continue;
+    w.add_global_attr(k, v);
+  }
+  w.add_global_attr("month0", std::to_string(month0 + static_cast<int>(t0)));
+  w.add_global_attr("subset", "1");
+
+  std::vector<double> sub_lat(lat_coord->begin() + i0,
+                              lat_coord->begin() + i0 + ic);
+  std::vector<double> sub_lon(lon_coord->begin() + j0,
+                              lon_coord->begin() + j0 + jc);
+  std::vector<double> sub_time(time_coord->begin() + t0,
+                               time_coord->begin() + t0 + tc);
+  (void)w.add_variable("lat", ncformat::DataType::f64, {"lat"}, sub_lat,
+                       {{"units", "degrees_north"}});
+  (void)w.add_variable("lon", ncformat::DataType::f64, {"lon"}, sub_lon,
+                       {{"units", "degrees_east"}});
+  (void)w.add_variable("time", ncformat::DataType::f64, {"time"}, sub_time,
+                       {{"units", "months since base_year"}});
+  for (const auto& name : kept) {
+    auto info = reader->variable(name);
+    if (!info) return info.error();
+    auto slab = reader->read_slab(name, {t0, i0, j0}, {tc, ic, jc});
+    if (!slab) return slab.error();
+    (void)w.add_variable(name, info->type, {"time", "lat", "lon"}, *slab,
+                         info->attrs);
+  }
+
+  storage::FileObject out;
+  out.content = w.finish();
+  out.size = static_cast<common::Bytes>(out.content->size());
+  out.name = file.name + "#subset";
+  return out;
+}
+
+Result<storage::FileObject> ncx_subset_module(const storage::FileObject& file,
+                                              const std::string& params) {
+  auto spec = parse_subset_params(params);
+  if (!spec) return spec.error();
+  return ncx_subset(file, *spec);
+}
+
+}  // namespace esg::climate

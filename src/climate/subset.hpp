@@ -1,0 +1,55 @@
+// Server-side subsetting — the first ESG-II feature (paper §9):
+//
+// "We are now starting work ... on ESG-II, a next-generation system that
+// supports (1) distribution of data analysis and visualization pipelines,
+// so that some data analysis operations (at least extraction and
+// subsetting, similar to those available with DODS) can be performed local
+// to the data before it is transferred over the network."
+//
+// This module implements that operation as a GridFTP ERET server-side
+// processing plugin: given an ncx chunk file, it extracts one variable
+// and/or clips the time range and lat/lon box, producing a smaller ncx
+// file that is what actually crosses the wire.
+//
+// Parameter string grammar (';'-separated, each clause optional):
+//   var=<name>                keep one data variable (plus coordinates)
+//   months=<lo>:<hi>          absolute month range, hi exclusive, clipped
+//                             against the file's coverage
+//   lat=<lo>:<hi>             latitude box in degrees
+//   lon=<lo>:<hi>             longitude box in degrees (no wrap-around)
+// e.g. "var=temperature;months=36:42;lat=-30:30"
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+#include "storage/storage.hpp"
+
+namespace esg::climate {
+
+/// ERET module name under which the testbed registers the subsetter.
+inline constexpr const char* kNcxSubsetModule = "ncx.subset";
+
+struct SubsetSpec {
+  std::optional<std::string> variable;
+  std::optional<std::pair<int, int>> months;       // [lo, hi)
+  std::optional<std::pair<double, double>> lat;    // [lo, hi]
+  std::optional<std::pair<double, double>> lon;    // [lo, hi]
+
+  std::string to_params() const;
+};
+
+common::Result<SubsetSpec> parse_subset_params(const std::string& params);
+
+/// Apply a subset to an ncx file object.  The input must carry real
+/// content; the result is a fresh ncx file with clipped dimensions, the
+/// adjusted `month0` global attribute, and coordinate variables preserved.
+common::Result<storage::FileObject> ncx_subset(
+    const storage::FileObject& file, const SubsetSpec& spec);
+
+/// The ERET-module-shaped entry point (string params).
+common::Result<storage::FileObject> ncx_subset_module(
+    const storage::FileObject& file, const std::string& params);
+
+}  // namespace esg::climate

@@ -1,0 +1,19 @@
+#include "common/bytebuf.hpp"
+
+namespace esg::common {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+}  // namespace esg::common

@@ -1,0 +1,67 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace esg::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+void emit(const std::string& line) {
+  std::scoped_lock lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+void set_global_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel global_log_level() { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::scoped_lock lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) const {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(message.size() + component_.size() + 32);
+  if (now_) {
+    line += "[";
+    line += format_time(now_());
+    line += "] ";
+  }
+  line += "[";
+  line += log_level_name(level);
+  line += "] [";
+  line += component_;
+  line += "] ";
+  line += message;
+  emit(line);
+}
+
+}  // namespace esg::common

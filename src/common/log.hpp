@@ -1,0 +1,69 @@
+// Minimal leveled logger with component tags.
+//
+// Components log through a named Logger ("gridftp", "rm", ...).  The global
+// level defaults to `warn` so tests and benchmarks stay quiet; examples turn
+// on `info` to narrate what the prototype is doing.  When a logger is bound
+// to a simulation clock the simulated timestamp is printed, which is how the
+// Fig 4-style monitor annotates its event stream.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace esg::common {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_global_log_level(LogLevel level);
+LogLevel global_log_level();
+
+/// Redirect log output (tests capture it); nullptr restores stderr.
+using LogSink = std::function<void(const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  /// Bind a clock so lines carry simulated timestamps.
+  void bind_clock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  bool enabled(LogLevel level) const {
+    return level >= global_log_level();
+  }
+
+  void log(LogLevel level, const std::string& message) const;
+
+  template <typename... Args>
+  void logf(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log(level, os.str());
+  }
+
+  template <typename... Args>
+  void trace(const Args&... args) const { logf(LogLevel::trace, args...); }
+  template <typename... Args>
+  void debug(const Args&... args) const { logf(LogLevel::debug, args...); }
+  template <typename... Args>
+  void info(const Args&... args) const { logf(LogLevel::info, args...); }
+  template <typename... Args>
+  void warn(const Args&... args) const { logf(LogLevel::warn, args...); }
+  template <typename... Args>
+  void error(const Args&... args) const { logf(LogLevel::error, args...); }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+  std::function<SimTime()> now_;
+};
+
+}  // namespace esg::common

@@ -1,0 +1,130 @@
+// Lightweight expected-style error handling.
+//
+// The emulator avoids exceptions on hot paths; fallible operations return
+// Result<T>, carrying either a value or an Error {code, message}.  This is a
+// deliberately small subset of std::expected (not yet available on the
+// toolchain this project targets).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace esg::common {
+
+/// Error categories shared across modules.
+enum class Errc {
+  ok = 0,
+  not_found,
+  already_exists,
+  invalid_argument,
+  permission_denied,
+  unavailable,       // service or resource temporarily down
+  timed_out,
+  aborted,           // cancelled by caller or failure-injection
+  protocol_error,    // malformed wire message / unexpected verb
+  io_error,          // storage-level failure
+  out_of_space,
+  auth_failed,
+  internal,
+};
+
+/// Human-readable name of an error code.
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error err) : data_(std::in_place_index<1>, std::move(err)) {}
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations that return no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error err) : err_(std::move(err)), has_error_(true) {}
+
+  bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(has_error_);
+    return err_;
+  }
+
+ private:
+  Error err_{};
+  bool has_error_ = false;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+inline const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timed_out: return "timed_out";
+    case Errc::aborted: return "aborted";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::io_error: return "io_error";
+    case Errc::out_of_space: return "out_of_space";
+    case Errc::auth_failed: return "auth_failed";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace esg::common

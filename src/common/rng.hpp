@@ -1,0 +1,101 @@
+// Deterministic random number generation.
+//
+// Every simulation owns its own xoshiro256** stream seeded through
+// splitmix64, so experiments replay exactly from a seed and independent
+// simulations (run in parallel by the benchmark harness) never share state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace esg::common {
+
+/// splitmix64 — used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_normal_valid_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Multiply-shift rejection-free mapping (Lemire); bias negligible for
+    // the modest n used here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal via Box–Muller with caching.
+  double normal() {
+    if (cached_normal_valid_) {
+      cached_normal_valid_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    cached_normal_valid_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Derive an independent child stream (used to give each sensor / site its
+  /// own decorrelated noise source).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool cached_normal_valid_ = false;
+};
+
+}  // namespace esg::common

@@ -1,0 +1,162 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace esg::common {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+void SlidingWindow::push(double x) {
+  values_.push_back(x);
+  if (values_.size() > capacity_) values_.pop_front();
+}
+
+double SlidingWindow::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::median() const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> copy(values_.begin(), values_.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double hi = copy[mid];
+  const double lo = *std::max_element(copy.begin(),
+                                      copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+BandwidthSampler::BandwidthSampler(SimDuration bucket) : bucket_(bucket) {
+  assert(bucket_ > 0);
+}
+
+void BandwidthSampler::record(SimTime t, Bytes bytes) {
+  if (bytes <= 0) return;
+  if (buckets_.empty()) origin_ = (t / bucket_) * bucket_;
+  const auto idx = static_cast<std::size_t>((t - origin_) / bucket_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += bytes;
+  total_ += bytes;
+}
+
+void BandwidthSampler::record_interval(SimTime from, SimTime to,
+                                       Bytes bytes) {
+  if (bytes <= 0) return;
+  if (to <= from) {
+    record(to, bytes);
+    return;
+  }
+  if (buckets_.empty()) origin_ = (from / bucket_) * bucket_;
+  from = std::max(from, origin_);  // clamp to the recorded epoch
+  if (to <= from) {
+    record(to, bytes);
+    return;
+  }
+  const double span = static_cast<double>(to - from);
+  const auto last_idx = static_cast<std::size_t>((to - 1 - origin_) / bucket_);
+  if (last_idx >= buckets_.size()) buckets_.resize(last_idx + 1, 0);
+  // Walk bucket boundaries, apportioning by overlap; remainder arithmetic
+  // keeps the total exact.
+  Bytes remaining = bytes;
+  SimTime cursor = from;
+  while (cursor < to) {
+    const SimTime bucket_end =
+        origin_ + (((cursor - origin_) / bucket_) + 1) * bucket_;
+    const SimTime seg_end = std::min(bucket_end, to);
+    Bytes share;
+    if (seg_end == to) {
+      share = remaining;
+    } else {
+      share = static_cast<Bytes>(static_cast<double>(bytes) *
+                                 static_cast<double>(seg_end - cursor) / span);
+      share = std::min(share, remaining);
+    }
+    const auto idx = static_cast<std::size_t>((cursor - origin_) / bucket_);
+    buckets_[idx] += share;
+    remaining -= share;
+    cursor = seg_end;
+  }
+  total_ += bytes;
+}
+
+Rate BandwidthSampler::peak_rate(SimDuration window) const {
+  if (buckets_.empty() || window < bucket_) return 0.0;
+  const auto w = static_cast<std::size_t>(window / bucket_);
+  if (w == 0 || w > buckets_.size()) {
+    // Window longer than the whole recording: average over everything.
+    const SimDuration span = static_cast<SimDuration>(buckets_.size()) * bucket_;
+    return static_cast<Rate>(total_) / to_seconds(span);
+  }
+  Bytes sum = 0;
+  for (std::size_t i = 0; i < w; ++i) sum += buckets_[i];
+  Bytes best = sum;
+  for (std::size_t i = w; i < buckets_.size(); ++i) {
+    sum += buckets_[i] - buckets_[i - w];
+    best = std::max(best, sum);
+  }
+  return static_cast<Rate>(best) / to_seconds(window);
+}
+
+Rate BandwidthSampler::average_rate(SimTime from, SimTime to) const {
+  if (to <= from || buckets_.empty()) return 0.0;
+  Bytes sum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const SimTime b0 = origin_ + static_cast<SimTime>(i) * bucket_;
+    if (b0 >= from && b0 + bucket_ <= to) sum += buckets_[i];
+  }
+  return static_cast<Rate>(sum) / to_seconds(to - from);
+}
+
+SimTime BandwidthSampler::last_time() const {
+  if (buckets_.empty()) return 0;
+  return origin_ + static_cast<SimTime>(buckets_.size()) * bucket_;
+}
+
+std::vector<std::pair<SimTime, Rate>> BandwidthSampler::series() const {
+  std::vector<std::pair<SimTime, Rate>> out;
+  out.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const SimTime t = origin_ + static_cast<SimTime>(i) * bucket_;
+    out.emplace_back(t, static_cast<Rate>(buckets_[i]) / to_seconds(bucket_));
+  }
+  return out;
+}
+
+}  // namespace esg::common

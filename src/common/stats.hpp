@@ -1,0 +1,98 @@
+// Statistics helpers used by the NWS forecasters, the benchmark harness, and
+// the bandwidth samplers that reproduce Table 1 / Figure 8.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace esg::common {
+
+/// Streaming mean / variance (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (copies + nth_element; fine for report-time use).
+double quantile(std::vector<double> values, double q);
+
+/// Fixed-capacity sliding window with O(1) push and O(n) aggregates —
+/// exactly what the NWS forecasters need over recent measurements.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(double x);
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double median() const;
+  double last() const { return values_.empty() ? 0.0 : values_.back(); }
+  const std::deque<double>& values() const { return values_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+};
+
+/// Records (time, bytes-delivered) increments and reports the rate over
+/// arbitrary windows.  This is the instrument behind the paper's
+/// "peak over 0.1 s / peak over 5 s / sustained over 1 h" rows in Table 1
+/// and the Figure 8 bandwidth-vs-time series.
+class BandwidthSampler {
+ public:
+  /// `bucket` is the sampling resolution; peaks over windows smaller than a
+  /// bucket are not observable.
+  explicit BandwidthSampler(SimDuration bucket = 100 * kMillisecond);
+
+  /// Account `bytes` delivered at simulated time `t` (monotone t required).
+  void record(SimTime t, Bytes bytes);
+
+  /// Account `bytes` delivered smoothly over [from, to): distributed across
+  /// the covered buckets proportionally.  Use this when deltas arrive at
+  /// event granularity coarser than the bucket, else rates alias into
+  /// spurious spikes.
+  void record_interval(SimTime from, SimTime to, Bytes bytes);
+
+  /// Highest average rate over any window of length `window`.
+  Rate peak_rate(SimDuration window) const;
+
+  /// Average rate between two instants.
+  Rate average_rate(SimTime from, SimTime to) const;
+
+  /// Total bytes recorded.
+  Bytes total_bytes() const { return total_; }
+
+  /// Time of the last recorded sample.
+  SimTime last_time() const;
+
+  /// Per-bucket (bucket_start_time, rate) series for plotting (Figure 8).
+  std::vector<std::pair<SimTime, Rate>> series() const;
+
+  SimDuration bucket() const { return bucket_; }
+
+ private:
+  SimDuration bucket_;
+  SimTime origin_ = 0;
+  std::vector<Bytes> buckets_;  // bytes per bucket, index 0 at origin_
+  Bytes total_ = 0;
+};
+
+}  // namespace esg::common

@@ -1,0 +1,35 @@
+// Small string utilities shared by the directory service, catalogs, and the
+// GridFTP control-channel parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esg::common {
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on a delimiter, dropping empty fields and trimming whitespace.
+std::vector<std::string> split_trimmed(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Glob-lite match supporting '*' wildcards (used by LDAP substring filters).
+bool wildcard_match(std::string_view pattern, std::string_view text);
+
+}  // namespace esg::common

@@ -1,0 +1,63 @@
+// Fixed-size worker pool used by the benchmark harness to run independent
+// simulation instances of a parameter sweep concurrently.
+//
+// Each sim::Simulation is fully self-contained, so sweep points share no
+// mutable state; the pool only hands out whole tasks.  Following the C++
+// Core Guidelines CP rules: RAII join in the destructor (no detach),
+// condition-variable waits always take a predicate, and tasks are moved into
+// workers by value.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace esg::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submit a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  static void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                           std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  bool stopping_ = false;                    // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace esg::common

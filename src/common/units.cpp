@@ -1,0 +1,60 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace esg::common {
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= kGB) {
+    std::snprintf(buf, sizeof buf, "%.1f GB", v / static_cast<double>(kGB));
+  } else if (b >= kMB) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", v / static_cast<double>(kMB));
+  } else if (b >= kKB) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", v / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+std::string format_rate(Rate r) {
+  char buf[64];
+  const double bits = r * 8.0;
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f Gb/s", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f Mb/s", bits / 1e6);
+  } else if (bits >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f Kb/s", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f b/s", bits);
+  }
+  return buf;
+}
+
+std::string format_time(SimTime t) {
+  char buf[96];
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t s = (total_ms / 1000) % 60;
+  const std::int64_t m = (total_ms / 60'000) % 60;
+  const std::int64_t h = total_ms / 3'600'000;
+  if (h > 0) {
+    std::snprintf(buf, sizeof buf, "%lldh%02lldm%02lld.%03llds",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s), static_cast<long long>(ms));
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof buf, "%lldm%02lld.%03llds",
+                  static_cast<long long>(m), static_cast<long long>(s),
+                  static_cast<long long>(ms));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld.%03llds", static_cast<long long>(s),
+                  static_cast<long long>(ms));
+  }
+  return buf;
+}
+
+}  // namespace esg::common

@@ -1,0 +1,74 @@
+// Units used throughout the ESG grid emulator.
+//
+// Simulated time is an integer nanosecond count (`SimTime`) so event ordering
+// is exact and runs are bit-reproducible.  Data sizes are byte counts and
+// rates are bytes/second (double); helpers convert to the networking units
+// the paper reports (Mb/s, Gb/s).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esg::common {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+/// Largest representable simulated instant; used as "never".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr SimDuration milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr SimDuration seconds(double s) { return from_seconds(s); }
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+
+/// Transfer rates in bytes per second.
+using Rate = double;
+
+/// Convert a rate expressed in megabits/second (the paper's unit) to B/s.
+constexpr Rate mbps(double v) { return v * 1e6 / 8.0; }
+/// Convert a rate expressed in gigabits/second to B/s.
+constexpr Rate gbps(double v) { return v * 1e9 / 8.0; }
+
+/// Convert a rate in bytes/second to megabits/second for reporting.
+constexpr double to_mbps(Rate r) { return r * 8.0 / 1e6; }
+/// Convert a rate in bytes/second to gigabits/second for reporting.
+constexpr double to_gbps(Rate r) { return r * 8.0 / 1e9; }
+
+/// Pretty-print a byte count ("230.8 GB" style, decimal units as the paper).
+std::string format_bytes(Bytes b);
+/// Pretty-print a rate ("512.9 Mb/s" style).
+std::string format_rate(Rate r);
+/// Pretty-print a simulated time ("1h02m03.4s" style).
+std::string format_time(SimTime t);
+
+}  // namespace esg::common

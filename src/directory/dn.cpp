@@ -1,0 +1,90 @@
+#include "directory/dn.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::directory {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+Result<Dn> Dn::parse(const std::string& text) {
+  Dn dn;
+  for (const auto& part : common::split(text, ',')) {
+    const auto trimmed = common::trim(part);
+    if (trimmed.empty()) {
+      return Error{Errc::invalid_argument, "empty RDN in: " + text};
+    }
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0 ||
+        eq == trimmed.size() - 1) {
+      return Error{Errc::invalid_argument,
+                   "malformed RDN '" + std::string(trimmed) + "'"};
+    }
+    const auto attr = common::trim(trimmed.substr(0, eq));
+    const auto value = common::trim(trimmed.substr(eq + 1));
+    dn.rdns_.emplace_back(std::string(attr), std::string(value));
+  }
+  if (dn.rdns_.empty()) {
+    return Error{Errc::invalid_argument, "empty DN"};
+  }
+  dn.rebuild_normalized();
+  return dn;
+}
+
+Dn Dn::from_rdns(std::vector<std::pair<std::string, std::string>> rdns) {
+  Dn dn;
+  dn.rdns_ = std::move(rdns);
+  dn.rebuild_normalized();
+  return dn;
+}
+
+Dn Dn::parent() const {
+  Dn p;
+  if (rdns_.size() > 1) {
+    p.rdns_.assign(rdns_.begin() + 1, rdns_.end());
+  }
+  p.rebuild_normalized();
+  return p;
+}
+
+Dn Dn::child(const std::string& attr, const std::string& value) const {
+  Dn c;
+  c.rdns_.reserve(rdns_.size() + 1);
+  c.rdns_.emplace_back(attr, value);
+  c.rdns_.insert(c.rdns_.end(), rdns_.begin(), rdns_.end());
+  c.rebuild_normalized();
+  return c;
+}
+
+bool Dn::is_within(const Dn& base) const {
+  if (base.rdns_.size() > rdns_.size()) return false;
+  const std::size_t offset = rdns_.size() - base.rdns_.size();
+  for (std::size_t i = 0; i < base.rdns_.size(); ++i) {
+    const auto& [ba, bv] = base.rdns_[i];
+    const auto& [a, v] = rdns_[offset + i];
+    if (!common::iequals(ba, a) || bv != v) return false;
+  }
+  return true;
+}
+
+void Dn::rebuild_normalized() {
+  normalized_.clear();
+  for (std::size_t i = 0; i < rdns_.size(); ++i) {
+    if (i > 0) normalized_ += ',';
+    normalized_ += common::to_lower(rdns_[i].first);
+    normalized_ += '=';
+    normalized_ += rdns_[i].second;
+  }
+}
+
+std::string Dn::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < rdns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rdns_[i].first + "=" + rdns_[i].second;
+  }
+  return out;
+}
+
+}  // namespace esg::directory

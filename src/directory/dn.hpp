@@ -1,0 +1,60 @@
+// Distinguished names, LDAP-style.
+//
+// Both catalogs in the paper are LDAP directories: the CDMS metadata
+// catalog and the Globus replica catalog (Fig 6 shows DNs like
+// "lc=CO2 measurements 1998, rc=GriPhyN, o=Grid").  A Dn is an ordered list
+// of attribute=value RDNs from most-specific to root; attribute names are
+// case-insensitive, values keep their case but compare trimmed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace esg::directory {
+
+class Dn {
+ public:
+  Dn() = default;
+
+  /// Parse "lf=x,lc=co2-1998,rc=esg,o=grid".  Fails on empty/malformed RDNs.
+  static common::Result<Dn> parse(const std::string& text);
+
+  /// Build from already-split (attr, value) pairs, most-specific first.
+  static Dn from_rdns(std::vector<std::pair<std::string, std::string>> rdns);
+
+  bool empty() const { return rdns_.empty(); }
+  std::size_t depth() const { return rdns_.size(); }
+
+  const std::pair<std::string, std::string>& rdn(std::size_t i) const {
+    return rdns_[i];
+  }
+  /// The most-specific component, e.g. {"lf", "x"}.
+  const std::pair<std::string, std::string>& leaf() const { return rdns_.front(); }
+
+  /// Drop the most-specific RDN; parent of a depth-1 DN is the empty DN.
+  Dn parent() const;
+
+  /// Prepend a new most-specific RDN.
+  Dn child(const std::string& attr, const std::string& value) const;
+
+  /// True if `this` is within the subtree rooted at `base` (inclusive).
+  bool is_within(const Dn& base) const;
+
+  bool operator==(const Dn& other) const { return normalized() == other.normalized(); }
+  bool operator<(const Dn& other) const { return normalized() < other.normalized(); }
+
+  /// Canonical form: lowercase attrs, single spaces, comma-joined.
+  const std::string& normalized() const { return normalized_; }
+  /// Display form as constructed.
+  std::string to_string() const;
+
+ private:
+  void rebuild_normalized();
+
+  std::vector<std::pair<std::string, std::string>> rdns_;
+  std::string normalized_;
+};
+
+}  // namespace esg::directory

@@ -1,0 +1,58 @@
+#include "directory/entry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace esg::directory {
+
+void Entry::remove_value(const std::string& attr, const std::string& value) {
+  auto it = attrs_.find(common::to_lower(attr));
+  if (it == attrs_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), value), v.end());
+  if (v.empty()) attrs_.erase(it);
+}
+
+std::int64_t Entry::get_int(const std::string& attr,
+                            std::int64_t fallback) const {
+  const std::string v = get(attr);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+const std::vector<std::string>& Entry::values(const std::string& attr) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = attrs_.find(common::to_lower(attr));
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+void Entry::serialize(common::ByteWriter& w) const {
+  w.str(dn_.to_string());
+  w.u32(static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& [attr, vals] : attrs_) {
+    w.str(attr);
+    w.str_vec(vals);
+  }
+}
+
+common::Result<Entry> Entry::deserialize(common::ByteReader& r) {
+  auto dn_text = r.str();
+  if (!dn_text) return dn_text.error();
+  auto dn = Dn::parse(*dn_text);
+  if (!dn) return dn.error();
+  Entry e(std::move(*dn));
+  auto count = r.u32();
+  if (!count) return count.error();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto attr = r.str();
+    if (!attr) return attr.error();
+    auto vals = r.str_vec();
+    if (!vals) return vals.error();
+    for (auto& v : *vals) e.add(*attr, std::move(v));
+  }
+  return e;
+}
+
+}  // namespace esg::directory

@@ -1,0 +1,36 @@
+// RFC-2254-style search filters: "(&(objectclass=collection)(name=co2*))".
+//
+// Supports conjunction &, disjunction |, negation !, equality with '*'
+// wildcards, presence (attr=*), and >= / <= comparisons (numeric when both
+// sides parse as integers, lexicographic otherwise).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "directory/entry.hpp"
+
+namespace esg::directory {
+
+class Filter {
+ public:
+  /// Parse a filter string.  The grammar requires outer parentheses, as in
+  /// LDAP ("(attr=value)", "(&(a=1)(b=2))").
+  static common::Result<Filter> parse(const std::string& text);
+
+  /// A filter matching every entry.
+  static Filter match_all();
+
+  bool matches(const Entry& entry) const;
+
+  std::string to_string() const;
+
+  struct Node;  // implementation detail, defined in filter.cpp
+
+ private:
+  explicit Filter(std::shared_ptr<const Node> root) : root_(std::move(root)) {}
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace esg::directory

@@ -1,0 +1,91 @@
+// Replicated LDAP directory — the §6.2 future-work item ("Current design
+// effort for the replica catalog is focused on support for distribution
+// and replication of the catalog"), implemented.
+//
+// Primary-copy replication with asynchronous push:
+//
+//   * one primary serves all writes (add/replace/modify/remove), applies
+//     them locally, acknowledges the client, and forwards the same wire
+//     operation to every replica (eventual consistency — a read replica
+//     lags by one WAN hop);
+//   * any server answers reads; ReplicatedDirectoryClient tries its server
+//     list in order and fails over on timeout/unavailable, so catalog
+//     lookups survive the loss of the primary site;
+//   * writes require the primary (single-master), matching the Globus
+//     replica catalog's design direction of the time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "directory/service.hpp"
+
+namespace esg::directory {
+
+/// Serves a DirectoryServer as primary and pushes every successful write
+/// to the given replica services.
+class ReplicatedDirectoryService {
+ public:
+  /// `replicas` are the hosts running plain DirectoryService instances
+  /// (same service name) that receive the pushed writes.
+  ReplicatedDirectoryService(rpc::Orb& orb, const net::Host& primary_host,
+                             std::shared_ptr<DirectoryServer> server,
+                             std::vector<const net::Host*> replicas,
+                             std::string service_name = "ldap");
+
+  DirectoryServer& server() { return *server_; }
+  std::uint64_t writes_forwarded() const { return writes_forwarded_; }
+
+ private:
+  void dispatch(const std::string& method, rpc::Payload request,
+                rpc::Reply reply);
+
+  rpc::Orb& orb_;
+  const net::Host& host_;
+  std::shared_ptr<DirectoryServer> server_;
+  std::unique_ptr<DirectoryService> local_;  // reuses the plain dispatcher
+  std::vector<const net::Host*> replicas_;
+  std::string service_name_;
+  std::uint64_t writes_forwarded_ = 0;
+};
+
+/// Client with read failover across a server list (primary first).
+class ReplicatedDirectoryClient {
+ public:
+  ReplicatedDirectoryClient(rpc::Orb& orb, const net::Host& client_host,
+                            std::vector<const net::Host*> servers,
+                            std::string service_name = "ldap");
+
+  /// Writes go to the primary only.
+  void add(const Entry& entry, bool ensure,
+           std::function<void(common::Status)> done);
+  void modify(const Dn& dn, const std::vector<ModOp>& ops,
+              std::function<void(common::Status)> done);
+  void remove(const Dn& dn, bool recursive,
+              std::function<void(common::Status)> done);
+
+  /// Reads fail over down the server list.
+  void lookup(const Dn& dn, std::function<void(common::Result<Entry>)> done);
+  void search(const Dn& base, Scope scope, const std::string& filter_text,
+              std::function<void(common::Result<std::vector<Entry>>)> done);
+
+  /// Index of the server that answered the most recent read (telemetry).
+  std::size_t last_read_server() const { return last_read_server_; }
+
+ private:
+  template <typename ResultT>
+  void read_with_failover(
+      std::size_t server_index,
+      std::function<void(DirectoryClient&,
+                         std::function<void(common::Result<ResultT>)>)>
+          issue,
+      std::function<void(common::Result<ResultT>)> done);
+
+  rpc::Orb& orb_;
+  const net::Host& client_;
+  std::vector<const net::Host*> servers_;
+  std::string service_name_;
+  std::size_t last_read_server_ = 0;
+};
+
+}  // namespace esg::directory

@@ -1,0 +1,132 @@
+#include "directory/server.hpp"
+
+namespace esg::directory {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+
+Status DirectoryServer::add(Entry entry) {
+  const std::string key = entry.dn().normalized();
+  if (entries_.count(key)) {
+    return Error{Errc::already_exists, "entry exists: " + entry.dn().to_string()};
+  }
+  if (entry.dn().depth() > 1) {
+    const Dn parent = entry.dn().parent();
+    if (!entries_.count(parent.normalized())) {
+      return Error{Errc::not_found,
+                   "parent missing for " + entry.dn().to_string()};
+    }
+  }
+  entries_.emplace(key, std::move(entry));
+  return common::ok_status();
+}
+
+Status DirectoryServer::ensure(Entry entry) {
+  std::vector<Dn> missing;
+  for (Dn cursor = entry.dn().parent(); !cursor.empty();
+       cursor = cursor.parent()) {
+    if (entries_.count(cursor.normalized())) break;
+    missing.push_back(cursor);
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    Entry scaffold(*it);
+    scaffold.add("objectclass", "organizationalUnit");
+    entries_.emplace(it->normalized(), std::move(scaffold));
+  }
+  if (entries_.count(entry.dn().normalized())) {
+    return replace(entry);
+  }
+  return add(std::move(entry));
+}
+
+Status DirectoryServer::replace(const Entry& entry) {
+  auto it = entries_.find(entry.dn().normalized());
+  if (it == entries_.end()) {
+    return Error{Errc::not_found, "no entry: " + entry.dn().to_string()};
+  }
+  it->second = entry;
+  return common::ok_status();
+}
+
+Status DirectoryServer::modify(const Dn& dn,
+                               const std::function<void(Entry&)>& mutation) {
+  auto it = entries_.find(dn.normalized());
+  if (it == entries_.end()) {
+    return Error{Errc::not_found, "no entry: " + dn.to_string()};
+  }
+  mutation(it->second);
+  return common::ok_status();
+}
+
+Status DirectoryServer::remove(const Dn& dn, bool recursive) {
+  auto it = entries_.find(dn.normalized());
+  if (it == entries_.end()) {
+    return Error{Errc::not_found, "no entry: " + dn.to_string()};
+  }
+  std::vector<std::string> doomed;
+  for (const auto& [key, entry] : entries_) {
+    if (key != dn.normalized() && entry.dn().is_within(dn)) {
+      if (!recursive) {
+        return Error{Errc::invalid_argument,
+                     "entry has children: " + dn.to_string()};
+      }
+      doomed.push_back(key);
+    }
+  }
+  for (const auto& key : doomed) entries_.erase(key);
+  entries_.erase(dn.normalized());
+  return common::ok_status();
+}
+
+Result<Entry> DirectoryServer::lookup(const Dn& dn) const {
+  auto it = entries_.find(dn.normalized());
+  if (it == entries_.end()) {
+    return Error{Errc::not_found, "no entry: " + dn.to_string()};
+  }
+  return it->second;
+}
+
+Result<std::vector<Entry>> DirectoryServer::search(const Dn& base, Scope scope,
+                                                   const Filter& filter) const {
+  if (!base.empty() && !entries_.count(base.normalized())) {
+    return Error{Errc::not_found, "search base missing: " + base.to_string()};
+  }
+  std::vector<Entry> out;
+  for (const auto& [key, entry] : entries_) {
+    bool in_scope = false;
+    switch (scope) {
+      case Scope::base:
+        in_scope = key == base.normalized();
+        break;
+      case Scope::one:
+        in_scope = entry.dn().depth() == base.depth() + 1 &&
+                   entry.dn().is_within(base);
+        break;
+      case Scope::sub:
+        in_scope = entry.dn().is_within(base);
+        break;
+    }
+    if (in_scope && filter.matches(entry)) out.push_back(entry);
+  }
+  return out;
+}
+
+const char* scope_name(Scope scope) {
+  switch (scope) {
+    case Scope::base: return "base";
+    case Scope::one: return "one";
+    case Scope::sub: return "sub";
+  }
+  return "?";
+}
+
+Result<Scope> scope_from_name(const std::string& name) {
+  if (name == "base") return Scope::base;
+  if (name == "one") return Scope::one;
+  if (name == "sub") return Scope::sub;
+  return Error{Errc::invalid_argument, "bad scope: " + name};
+}
+
+}  // namespace esg::directory

@@ -1,0 +1,61 @@
+// In-memory LDAP-like directory tree with base/one/sub search.
+//
+// The storage core is independent of the network; directory/service.hpp
+// binds a DirectoryServer to a host and serves it over RPC, which is how
+// the replica catalog, the metadata catalog, and MDS are deployed in the
+// emulated testbed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "directory/entry.hpp"
+#include "directory/filter.hpp"
+
+namespace esg::directory {
+
+enum class Scope { base, one, sub };
+
+class DirectoryServer {
+ public:
+  /// Add an entry.  The parent must already exist (except depth-1 roots).
+  common::Status add(Entry entry);
+
+  /// Add an entry, creating missing ancestors as organizational units.
+  common::Status ensure(Entry entry);
+
+  /// Replace the attributes of an existing entry (DN unchanged).
+  common::Status replace(const Entry& entry);
+
+  /// Apply a mutation to an existing entry in place.
+  common::Status modify(const Dn& dn,
+                        const std::function<void(Entry&)>& mutation);
+
+  /// Remove an entry; `recursive` removes the whole subtree, otherwise
+  /// removing a non-leaf fails.
+  common::Status remove(const Dn& dn, bool recursive = false);
+
+  bool exists(const Dn& dn) const { return entries_.count(dn.normalized()) > 0; }
+
+  common::Result<Entry> lookup(const Dn& dn) const;
+
+  /// LDAP search: entries under `base` at `scope` matching `filter`,
+  /// returned in normalized-DN order (deterministic).
+  common::Result<std::vector<Entry>> search(const Dn& base, Scope scope,
+                                            const Filter& filter) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Keyed by normalized DN; lexicographic order keeps subtrees contiguous
+  // only per-branch, so searches still scan — fine at catalog scale.
+  std::map<std::string, Entry> entries_;
+};
+
+const char* scope_name(Scope scope);
+common::Result<Scope> scope_from_name(const std::string& name);
+
+}  // namespace esg::directory

@@ -1,0 +1,198 @@
+#include "dods/dods.hpp"
+
+namespace esg::dods {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+using rpc::Payload;
+
+DodsServer::DodsServer(rpc::Orb& orb, const net::Host& host,
+                       std::shared_ptr<storage::HostStorage> storage)
+    : orb_(orb), host_(host), storage_(std::move(storage)) {
+  orb_.register_service(
+      host_, "dods",
+      [this](const std::string& method, Payload request, rpc::Reply reply) {
+        handle(method, std::move(request), std::move(reply));
+      });
+}
+
+DodsServer::~DodsServer() { orb_.unregister_service(host_, "dods"); }
+
+void DodsServer::register_filter(const std::string& name, Filter filter) {
+  filters_[name] = std::move(filter);
+}
+
+Result<storage::FileObject> DodsServer::resolve_ticket(std::uint64_t ticket) {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return Error{Errc::not_found, "unknown DODS ticket"};
+  }
+  storage::FileObject file = it->second;
+  tickets_.erase(it);
+  return file;
+}
+
+void DodsServer::handle(const std::string& method, Payload request,
+                        rpc::Reply reply) {
+  if (method != "GET") {
+    return reply(Error{Errc::protocol_error, "405 method not allowed"});
+  }
+  ByteReader r(request);
+  auto path = r.str();
+  auto filter_name = r.str();
+  auto constraint = r.str();
+  if (!path || !filter_name || !constraint) {
+    return reply(Error{Errc::protocol_error, "400 bad request"});
+  }
+  auto file = storage_->get(*path);
+  if (!file) return reply(Error{Errc::not_found, "404 " + *path});
+
+  storage::FileObject effective = std::move(*file);
+  if (!filter_name->empty()) {
+    auto it = filters_.find(*filter_name);
+    if (it == filters_.end()) {
+      return reply(Error{Errc::invalid_argument,
+                         "501 no such filter: " + *filter_name});
+    }
+    auto processed = it->second(effective, *constraint);
+    if (!processed) return reply(processed.error());
+    effective = std::move(*processed);
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  tickets_[ticket] = effective;
+  ByteWriter w;
+  w.u64(ticket);
+  w.i64(effective.size);
+  reply(w.take());
+}
+
+// Per-fetch state machine; kept alive by shared_ptr captures.
+struct DodsClient::Op : std::enable_shared_from_this<DodsClient::Op> {
+  DodsClient* client = nullptr;
+  const net::Host* server_host = nullptr;
+  DodsServer* server = nullptr;
+  std::string path, local_name;
+  DodsOptions options;
+  std::function<void(DodsResult)> done;
+  DodsResult result;
+  std::unique_ptr<net::TcpTransfer> tcp;
+  std::uint64_t ticket = 0;
+  Bytes size = 0;
+  bool finished = false;
+
+  sim::Simulation& sim() { return client->orb_.network().simulation(); }
+
+  void attempt() {
+    if (finished) return;
+    if (result.attempts >= options.max_attempts) {
+      return finish(Error{Errc::timed_out,
+                          "gave up after " +
+                              std::to_string(result.attempts) + " requests"});
+    }
+    ++result.attempts;
+    ByteWriter w;
+    w.str(path);
+    w.str(options.filter);
+    w.str(options.constraint);
+    auto self = shared_from_this();
+    client->orb_.call(
+        client->local_, *server_host, "dods", "GET", w.take(),
+        [self](Result<Payload> r) {
+          if (self->finished) return;
+          if (!r) return self->retry_or_fail(Status(r.error()));
+          ByteReader reader(*r);
+          auto ticket = reader.u64();
+          auto size = reader.i64();
+          if (!ticket || !size) {
+            return self->finish(Error{Errc::protocol_error, "bad GET reply"});
+          }
+          self->ticket = *ticket;
+          self->size = *size;
+          self->stream_body();
+        },
+        options.stall_timeout);
+  }
+
+  void stream_body() {
+    // One TCP stream, cold every time (HTTP/1.0 spirit), no markers: a
+    // failure throws the partial body away.
+    net::TcpOptions tcp_opts;
+    tcp_opts.streams = 1;
+    tcp_opts.buffer_size = options.buffer_size;
+    tcp_opts.slow_start = true;
+    tcp_opts.dead_interval = options.stall_timeout;
+    tcp_opts.connect_delay =
+        client->orb_.network().rtt(*server_host, client->local_);
+    auto self = shared_from_this();
+    net::TcpCallbacks cbs;
+    cbs.on_complete = [self](Status st) {
+      if (self->finished) return;
+      if (!st.ok()) return self->retry_or_fail(st);
+      self->result.bytes_transferred = self->size;
+      // Attach content (emulator data plane).
+      if (self->server != nullptr) {
+        if (auto file = self->server->resolve_ticket(self->ticket)) {
+          file->name = self->local_name;
+          (void)self->client->storage_->put(std::move(*file));
+        }
+      }
+      self->finish(common::ok_status());
+    };
+    tcp = std::make_unique<net::TcpTransfer>(client->orb_.network(),
+                                             *server_host, client->local_,
+                                             size, tcp_opts, std::move(cbs));
+  }
+
+  void retry_or_fail(Status st) {
+    if (tcp) tcp->cancel();
+    if (result.attempts >= options.max_attempts) return finish(std::move(st));
+    auto self = shared_from_this();
+    sim().schedule_after(options.retry_backoff, [self] { self->attempt(); });
+  }
+
+  void finish(Status st) {
+    if (finished) return;
+    finished = true;
+    if (tcp) tcp->cancel();
+    result.status = std::move(st);
+    result.finished = sim().now();
+    if (done) done(std::move(result));
+  }
+};
+
+DodsClient::DodsClient(rpc::Orb& orb, const net::Host& local_host,
+                       std::shared_ptr<storage::HostStorage> local_storage,
+                       const std::map<std::string, DodsServer*>& servers)
+    : orb_(orb),
+      local_(local_host),
+      storage_(std::move(local_storage)),
+      servers_(servers) {}
+
+void DodsClient::fetch(const std::string& server_host, const std::string& path,
+                       const std::string& local_name,
+                       const DodsOptions& options,
+                       std::function<void(DodsResult)> done) {
+  auto op = std::make_shared<Op>();
+  op->client = this;
+  op->server_host = orb_.network().find_host(server_host);
+  auto it = servers_.find(server_host);
+  op->server = it == servers_.end() ? nullptr : it->second;
+  op->path = path;
+  op->local_name = local_name;
+  op->options = options;
+  op->done = std::move(done);
+  op->result.started = orb_.network().simulation().now();
+  if (op->server_host == nullptr) {
+    orb_.network().simulation().schedule_after(0, [op, server_host] {
+      op->finish(Error{Errc::not_found, "unknown host: " + server_host});
+    });
+    return;
+  }
+  op->attempt();
+}
+
+}  // namespace esg::dods

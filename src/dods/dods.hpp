@@ -1,0 +1,109 @@
+// DODS-style remote data access — the related-work baseline (paper §8).
+//
+// "DODS, the Distributed Oceanographic Data System, has focused on the
+// complementary problem of providing remote access to a data file ...
+// DODS servers provide filters for a number of different data formats
+// that provide subsetting and format translation ... DODS was designed
+// with a heavy emphasis on generality and relies solely upon HTTP as a
+// transport protocol.  While this approach facilitates easy deployment,
+// it is not well-suited to HPC applications or very large data movement
+// over high-bandwidth wide-area networks.  In addition, DODS does not
+// currently address wide-area security requirements, replica management,
+// access to secondary storage, or distributed catalog functions."
+//
+// The emulated DODS captures exactly that trade-off:
+//   + URL access with constraint expressions (server-side subsetting via
+//     pluggable filters, ncx registered by default);
+//   + trivial deployment: no certificates, no catalogs;
+//   - one TCP stream per request, modest HTTP-era socket buffers;
+//   - no restart: a failed transfer starts over from byte zero;
+//   - no replica selection: the URL names one server, reachable or not.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "net/tcp.hpp"
+#include "rpc/orb.hpp"
+#include "storage/storage.hpp"
+
+namespace esg::dods {
+
+using common::Bytes;
+
+/// A subsetting/translation filter: applied when a request carries a
+/// constraint expression ("?var=...").
+using Filter = std::function<common::Result<storage::FileObject>(
+    const storage::FileObject&, const std::string& constraint)>;
+
+class DodsServer {
+ public:
+  DodsServer(rpc::Orb& orb, const net::Host& host,
+             std::shared_ptr<storage::HostStorage> storage);
+  ~DodsServer();
+
+  const net::Host& host() const { return host_; }
+  storage::HostStorage& storage() { return *storage_; }
+
+  void register_filter(const std::string& name, Filter filter);
+
+  /// Emulator data plane (same pattern as GridFTP tickets).
+  common::Result<storage::FileObject> resolve_ticket(std::uint64_t ticket);
+
+ private:
+  void handle(const std::string& method, rpc::Payload request,
+              rpc::Reply reply);
+
+  rpc::Orb& orb_;
+  const net::Host& host_;
+  std::shared_ptr<storage::HostStorage> storage_;
+  std::map<std::string, Filter> filters_;
+  std::map<std::uint64_t, storage::FileObject> tickets_;
+  std::uint64_t next_ticket_ = 1;
+};
+
+struct DodsResult {
+  common::Status status = common::ok_status();
+  Bytes bytes_transferred = 0;  // useful bytes landed (0 after any failure)
+  int attempts = 0;             // full re-requests (no restart markers)
+  common::SimTime started = 0;
+  common::SimTime finished = 0;
+};
+
+struct DodsOptions {
+  Bytes buffer_size = 64 * common::kKiB;  // HTTP-era socket buffer
+  common::SimDuration stall_timeout = 30 * common::kSecond;
+  int max_attempts = 1;  // re-GET from scratch on failure
+  common::SimDuration retry_backoff = 10 * common::kSecond;
+  /// Filter name + constraint; empty = whole file.
+  std::string filter;
+  std::string constraint;
+};
+
+class DodsClient {
+ public:
+  /// `servers` maps host name -> server object (process-local data plane).
+  DodsClient(rpc::Orb& orb, const net::Host& local_host,
+             std::shared_ptr<storage::HostStorage> local_storage,
+             const std::map<std::string, DodsServer*>& servers);
+
+  /// HTTP-style GET: one TCP stream, no auth, no restart.
+  void fetch(const std::string& server_host, const std::string& path,
+             const std::string& local_name, const DodsOptions& options,
+             std::function<void(DodsResult)> done);
+
+  storage::HostStorage& local_storage() { return *storage_; }
+
+ private:
+  struct Op;
+
+  rpc::Orb& orb_;
+  const net::Host& local_;
+  std::shared_ptr<storage::HostStorage> storage_;
+  const std::map<std::string, DodsServer*>& servers_;
+};
+
+}  // namespace esg::dods

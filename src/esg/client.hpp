@@ -1,0 +1,69 @@
+// The CDAT-shaped client facade (paper §3): attribute-based selection,
+// translation to logical files, transfer via the request manager, then
+// client-side analysis and rendering.
+//
+// With `server_side_subset` the client requests the ESG-II style
+// extraction (paper §9 future work): each chunk is subset at the server —
+// one variable, the needed months, optionally a lat/lon box — so only the
+// region of interest crosses the wide-area network.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "climate/analysis.hpp"
+#include "climate/render.hpp"
+#include "climate/subset.hpp"
+#include "esg/testbed.hpp"
+#include "ncformat/ncx.hpp"
+
+namespace esg::esg {
+
+struct AnalysisRequest {
+  std::string dataset;
+  std::string variable;
+  int month_start = 0;
+  int month_end = 0;  // exclusive
+  rm::RequestOptions rm_options;
+
+  /// ESG-II mode: subset at the data (variable + months + optional box)
+  /// before transfer instead of moving whole chunk files.
+  bool server_side_subset = false;
+  std::optional<std::pair<double, double>> lat_box;  // degrees, [lo, hi]
+  std::optional<std::pair<double, double>> lon_box;
+};
+
+struct AnalysisResult {
+  common::Status status = common::ok_status();
+  climate::Field field;       // the requested months, concatenated
+  climate::Field mean;        // time mean over the request window
+  climate::FieldStats stats;  // of the mean field
+  rm::RequestResult transfer; // what the request manager did
+};
+
+class EsgClient {
+ public:
+  explicit EsgClient(EsgTestbed& testbed);
+
+  /// Full pipeline, asynchronous: metadata query -> RM transfer -> ncx
+  /// assembly -> time mean + stats.
+  void analyze(const AnalysisRequest& request,
+               std::function<void(AnalysisResult)> done);
+
+  /// Convenience: run the simulation until the analysis completes.
+  AnalysisResult analyze_blocking(const AnalysisRequest& request);
+
+  metadata::MetadataCatalog& metadata() { return metadata_; }
+
+ private:
+  /// Assemble the requested month range from the fetched local files,
+  /// using each file's own coordinates/coverage (works for whole chunks
+  /// and server-side subsets alike).
+  common::Result<climate::Field> assemble(const AnalysisRequest& request,
+                                          const rm::RequestResult& transfer);
+
+  EsgTestbed& testbed_;
+  metadata::MetadataCatalog metadata_;
+};
+
+}  // namespace esg::esg

@@ -1,0 +1,46 @@
+// Multi-source single-file fetch.
+//
+// Two §6.1 features compose into something the paper never spells out but
+// its architecture makes trivial: "partial file retrieval is included by
+// default" (the ERET module) plus a replica catalog listing several copies
+// of the same logical file.  multi_source_get() splits one file into byte
+// ranges, fetches each range from a *different replica* concurrently (with
+// per-range parallelism and restart), and reassembles — aggregating the
+// bandwidth of all replica sites for a single file, the same way the
+// request manager aggregates across files.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gridftp/reliability.hpp"
+
+namespace esg::gridftp {
+
+struct MultiSourceResult {
+  common::Status status = common::ok_status();
+  Bytes file_size = 0;
+  Bytes bytes_transferred = 0;
+  int sources = 0;
+  int total_attempts = 0;
+  SimTime started = 0;
+  SimTime finished = 0;
+};
+
+struct MultiSourceOptions {
+  TransferOptions transfer;        // per-range options (parallelism etc.)
+  ReliabilityOptions reliability;  // per-range restart/retry
+  /// Upper bound on concurrent source replicas (0 = use all given).
+  std::size_t max_sources = 0;
+};
+
+/// Fetch `replicas.front()`'s file by pulling one contiguous byte range per
+/// replica concurrently.  All replicas must hold the same bytes.  The
+/// assembled file lands in `client`'s storage as `local_name` (content is
+/// reassembled bit-exactly when available).
+void multi_source_get(GridFtpClient& client, std::vector<FtpUrl> replicas,
+                      const std::string& local_name,
+                      const MultiSourceOptions& options,
+                      std::function<void(MultiSourceResult)> done);
+
+}  // namespace esg::gridftp

@@ -1,0 +1,130 @@
+#include "gridftp/reliability.hpp"
+
+#include <cassert>
+
+namespace esg::gridftp {
+
+using common::Errc;
+using common::Error;
+using common::Status;
+
+std::shared_ptr<ReliableGet> ReliableGet::start(
+    GridFtpClient& client, std::vector<FtpUrl> replicas,
+    std::string local_name, TransferOptions options,
+    ReliabilityOptions reliability, ProgressCallback progress,
+    std::function<void(ReliableResult)> done) {
+  assert(!replicas.empty());
+  auto self = std::shared_ptr<ReliableGet>(new ReliableGet(
+      client, std::move(replicas), std::move(local_name), options, reliability,
+      std::move(progress), std::move(done)));
+  self->self_ = self;
+  self->result_.started = client.simulation().now();
+  self->attempt();
+  return self;
+}
+
+ReliableGet::ReliableGet(GridFtpClient& client, std::vector<FtpUrl> replicas,
+                         std::string local_name, TransferOptions options,
+                         ReliabilityOptions reliability,
+                         ProgressCallback progress,
+                         std::function<void(ReliableResult)> done)
+    : client_(client),
+      replicas_(std::move(replicas)),
+      local_name_(std::move(local_name)),
+      options_(options),
+      reliability_(reliability),
+      progress_(std::move(progress)),
+      done_(std::move(done)) {}
+
+void ReliableGet::abort() {
+  if (finished_) return;
+  if (handle_) handle_->abort();
+  finish(Error{Errc::aborted, "reliable get aborted"});
+}
+
+void ReliableGet::attempt() {
+  if (finished_) return;
+  if (result_.attempts >= reliability_.max_attempts) {
+    return finish(Error{Errc::timed_out,
+                        "gave up after " +
+                            std::to_string(result_.attempts) + " attempts"});
+  }
+  ++result_.attempts;
+
+  TransferOptions opts = options_;
+  opts.restart_offset = offset_;
+
+  auto self = shared_from_this();
+  handle_ = client_.get(
+      current_replica(), local_name_, opts,
+      [self](Bytes delta, Bytes total, SimTime now) {
+        if (self->finished_) return;
+        self->offset_ = total;
+        if (self->progress_) self->progress_(delta, total, now);
+      },
+      [self](TransferResult r) { self->attempt_finished(std::move(r)); });
+  window_start_bytes_ = offset_;
+  arm_rate_monitor();
+}
+
+void ReliableGet::arm_rate_monitor() {
+  monitor_.cancel();
+  if (reliability_.min_rate <= 0.0) return;
+  auto self = shared_from_this();
+  monitor_ = client_.simulation().schedule_every(
+      reliability_.eval_window, [self] {
+        if (self->finished_ || !self->handle_ || !self->handle_->active()) {
+          return false;
+        }
+        const Bytes window_bytes = self->offset_ - self->window_start_bytes_;
+        self->window_start_bytes_ = self->offset_;
+        const Rate achieved =
+            static_cast<double>(window_bytes) /
+            common::to_seconds(self->reliability_.eval_window);
+        if (achieved < self->reliability_.min_rate) {
+          // Too slow: abandon this replica and move to the next, resuming
+          // from the restart marker.
+          self->handle_->abort();
+          ++self->replica_index_;
+          if (self->replicas_.size() > 1) ++self->result_.replica_switches;
+          self->attempt();
+          return false;
+        }
+        return true;
+      });
+}
+
+void ReliableGet::attempt_finished(TransferResult r) {
+  if (finished_) return;
+  monitor_.cancel();
+  result_.total_bytes = offset_;
+  if (r.status.ok()) {
+    // The server's completion reply is authoritative for the byte count;
+    // progress-delta integerization can run a few bytes short.
+    offset_ = std::max(offset_, r.file_size);
+    return finish(common::ok_status());
+  }
+  // Failed attempt: advance to the next replica (round-robin) and retry
+  // from the marker after a backoff.  The client has already dropped its
+  // session if the server looked dead, so re-authentication happens
+  // naturally on the retry.
+  ++replica_index_;
+  if (replicas_.size() > 1) ++result_.replica_switches;
+  auto self = shared_from_this();
+  client_.simulation().schedule_after(reliability_.retry_backoff,
+                                      [self] { self->attempt(); });
+}
+
+void ReliableGet::finish(Status status) {
+  if (finished_) return;
+  finished_ = true;
+  monitor_.cancel();
+  result_.status = std::move(status);
+  result_.finished = client_.simulation().now();
+  result_.total_bytes = offset_;
+  auto done = std::move(done_);
+  auto self = std::move(self_);  // drop keep-alive after the callback returns
+  if (done) done(std::move(result_));
+}
+
+}  // namespace esg::gridftp

@@ -1,0 +1,87 @@
+// GridFTP server.
+//
+// One server fronts one host's storage.  The control channel is served over
+// the RPC layer as service "gridftp" with FTP-verb-shaped methods:
+//
+//   AUTH  — GSI mutual authentication: the client ships its certificate
+//           chain; the server verifies it against the CA and maps the
+//           subject through the grid-mapfile.  Extra authentication rounds
+//           are modeled as server-side delay (see security/gsi.hpp).
+//   SIZE  — file size query.
+//   RETR  — validates a session + path, applies any ERET server-side
+//           processing module, and returns the effective transfer size plus
+//           a ticket; the emulator's data plane then moves the bytes.
+//   STOR  — validates a session + destination; returns a ticket.
+//
+// Server-side processing (paper §6.1): named plugins transform a file
+// before transmission.  Partial-file retrieval is registered by default,
+// exactly as the paper says.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "gridftp/types.hpp"
+#include "rpc/orb.hpp"
+#include "security/gsi.hpp"
+#include "storage/storage.hpp"
+
+namespace esg::gridftp {
+
+/// A server-side processing module: transforms the stored file into what is
+/// actually sent (e.g. a subset).  `params` is module-defined.
+using EretModule = std::function<common::Result<storage::FileObject>(
+    const storage::FileObject& file, const std::string& params)>;
+
+class GridFtpServer {
+ public:
+  GridFtpServer(rpc::Orb& orb, const net::Host& host,
+                std::shared_ptr<storage::HostStorage> storage,
+                const security::CertificateAuthority& ca,
+                security::GridMapFile gridmap);
+  ~GridFtpServer();
+
+  const net::Host& host() const { return host_; }
+  storage::HostStorage& storage() { return *storage_; }
+  std::shared_ptr<storage::HostStorage> storage_ptr() { return storage_; }
+
+  /// Register a server-side processing module.
+  void register_eret_module(const std::string& name, EretModule module);
+
+  /// The emulator's data plane: resolve a RETR ticket to the (possibly
+  /// ERET-processed) file object so the receiving side can attach content.
+  common::Result<storage::FileObject> resolve_ticket(std::uint64_t ticket);
+
+  /// Sessions established since construction (auth cost accounting).
+  std::uint64_t sessions_established() const { return sessions_established_; }
+
+  /// Default partial-file module name, registered automatically.
+  static constexpr const char* kPartialModule = "partial";
+
+ private:
+  void dispatch(const std::string& method, rpc::Payload request,
+                rpc::Reply reply);
+  void handle_auth(common::ByteReader& r, rpc::Reply reply);
+  void handle_size(common::ByteReader& r, rpc::Reply reply);
+  void handle_retr(common::ByteReader& r, rpc::Reply reply);
+  void handle_stor(common::ByteReader& r, rpc::Reply reply);
+  bool session_valid(std::uint64_t session) const;
+
+  rpc::Orb& orb_;
+  const net::Host& host_;
+  std::shared_ptr<storage::HostStorage> storage_;
+  const security::CertificateAuthority& ca_;
+  security::GridMapFile gridmap_;
+  std::map<std::string, EretModule> eret_modules_;
+  std::map<std::uint64_t, std::string> sessions_;       // id -> local user
+  std::map<std::uint64_t, storage::FileObject> tickets_; // RETR tickets
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t sessions_established_ = 0;
+};
+
+}  // namespace esg::gridftp

@@ -1,0 +1,66 @@
+#include "gridftp/striped.hpp"
+
+namespace esg::gridftp {
+
+StripedTransfer::StripedTransfer(GridFtpClient& client,
+                                 std::vector<StripeEndpoint> stripes,
+                                 TransferOptions options,
+                                 std::function<void(StripedResult)> done,
+                                 ProgressCallback progress)
+    : client_(client), stripes_(std::move(stripes)), done_(std::move(done)) {
+  result_.stripes.resize(stripes_.size());
+  outstanding_ = stripes_.size();
+  handles_.reserve(stripes_.size());
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    const auto& s = stripes_[i];
+    auto handle = client_.third_party_copy(
+        s.source, FtpUrl{s.dest_host, s.dest_path}, options,
+        [this, i](TransferResult r) { stripe_done(i, std::move(r)); });
+    handles_.push_back(std::move(handle));
+    (void)progress;  // per-stripe progress not surfaced; use delivered()
+  }
+}
+
+void StripedTransfer::abort() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& h : handles_) h->abort();
+}
+
+Bytes StripedTransfer::delivered() const {
+  Bytes sum = result_.total_bytes;
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    if (handles_[i] && handles_[i]->active()) sum += handles_[i]->delivered();
+  }
+  return sum;
+}
+
+void StripedTransfer::stripe_done(std::size_t index, TransferResult result) {
+  if (finished_) return;
+  result_.total_bytes += result.bytes_transferred;
+  result_.started = result_.started == 0
+                        ? result.started
+                        : std::min(result_.started, result.started);
+  result_.finished = std::max(result_.finished, result.finished);
+  const bool failed = !result.status.ok();
+  if (failed && result_.status.ok()) {
+    result_.status = result.status;
+  }
+  result_.stripes[index] = std::move(result);
+  --outstanding_;
+  if (failed) {
+    // First failure wins: abort the remaining stripes and report.
+    for (auto& h : handles_) {
+      if (h && h->active()) h->abort();
+    }
+    finished_ = true;
+    if (done_) done_(std::move(result_));
+    return;
+  }
+  if (outstanding_ == 0) {
+    finished_ = true;
+    if (done_) done_(std::move(result_));
+  }
+}
+
+}  // namespace esg::gridftp

@@ -1,0 +1,24 @@
+#include "gridftp/url.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::gridftp {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+Result<FtpUrl> FtpUrl::parse(const std::string& text) {
+  static const std::string kScheme = "gsiftp://";
+  if (!common::starts_with(text, kScheme)) {
+    return Error{Errc::invalid_argument, "not a gsiftp URL: " + text};
+  }
+  const std::string rest = text.substr(kScheme.size());
+  const auto slash = rest.find('/');
+  if (slash == std::string::npos || slash == 0 || slash == rest.size() - 1) {
+    return Error{Errc::invalid_argument, "malformed gsiftp URL: " + text};
+  }
+  return FtpUrl{rest.substr(0, slash), rest.substr(slash + 1)};
+}
+
+}  // namespace esg::gridftp

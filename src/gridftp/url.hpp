@@ -1,0 +1,26 @@
+// gsiftp:// URL handling.
+//
+// Replica catalog location entries map logical files to URLs of the form
+// "gsiftp://<host>/<path>" (Fig 6 of the paper); the request manager hands
+// these to GridFTP.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+
+namespace esg::gridftp {
+
+struct FtpUrl {
+  std::string host;
+  std::string path;  // no leading slash
+
+  static common::Result<FtpUrl> parse(const std::string& text);
+  std::string to_string() const { return "gsiftp://" + host + "/" + path; }
+
+  bool operator==(const FtpUrl& other) const {
+    return host == other.host && path == other.path;
+  }
+};
+
+}  // namespace esg::gridftp

@@ -1,0 +1,15 @@
+// Wire helpers shared between the GridFTP client and server.
+#pragma once
+
+#include <vector>
+
+#include "common/bytebuf.hpp"
+#include "security/gsi.hpp"
+
+namespace esg::gridftp {
+
+/// Serialize a certificate chain into an AUTH payload (defined server.cpp).
+void gridftp_write_chain(common::ByteWriter& w,
+                         const std::vector<security::Certificate>& chain);
+
+}  // namespace esg::gridftp

@@ -1,0 +1,165 @@
+#include "hrm/hrm.hpp"
+
+#include "common/bytebuf.hpp"
+
+namespace esg::hrm {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Bytes;
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+using rpc::Payload;
+
+HrmService::HrmService(rpc::Orb& orb, const net::Host& host,
+                       std::shared_ptr<storage::HostStorage> served_storage,
+                       HrmConfig config)
+    : orb_(orb),
+      host_(host),
+      served_(std::move(served_storage)),
+      tape_(std::make_unique<storage::TapeLibrary>(orb.network().simulation(),
+                                                   config.tape)),
+      cache_(config.cache_capacity) {
+  cache_.set_eviction_hook([this](const storage::FileObject& evicted) {
+    (void)served_->remove(evicted.name);
+  });
+  orb_.register_service(
+      host_, "hrm",
+      [this](const std::string& method, Payload request, rpc::Reply reply) {
+        dispatch(method, std::move(request), std::move(reply));
+      });
+}
+
+HrmService::~HrmService() { orb_.unregister_service(host_, "hrm"); }
+
+void HrmService::stage(const std::string& name,
+                       std::function<void(Result<Bytes>)> done) {
+  if (cache_.contains(name)) {
+    ++cache_hits_;
+    (void)cache_.pin(name);
+    auto size = cache_.get(name);
+    const Bytes bytes = size ? size->size : 0;
+    orb_.network().simulation().schedule_after(
+        common::kMillisecond, [done = std::move(done), bytes] { done(bytes); });
+    return;
+  }
+  ++cache_misses_;
+  auto it = staging_.find(name);
+  if (it != staging_.end()) {
+    // Coalesce onto the in-flight tape read.
+    it->second.push_back(std::move(done));
+    return;
+  }
+  staging_[name].push_back(std::move(done));
+  tape_->stage(name, [this, name](Result<storage::FileObject> staged) {
+    finish_stage(name, std::move(staged));
+  });
+}
+
+void HrmService::finish_stage(const std::string& name,
+                              Result<storage::FileObject> staged) {
+  auto waiters = std::move(staging_[name]);
+  staging_.erase(name);
+  if (!staged) {
+    for (auto& w : waiters) w(staged.error());
+    return;
+  }
+  const Bytes size = staged->size;
+  // Land in the cache and mirror into the GridFTP-served namespace.  A
+  // cache too small even after eviction is an operational error.
+  if (auto st = cache_.put(*staged); !st.ok()) {
+    for (auto& w : waiters) w(st.error());
+    return;
+  }
+  (void)served_->put(std::move(*staged));
+  // One pin per waiter, matching the RELEASE each caller owes.
+  for (auto& w : waiters) {
+    (void)cache_.pin(name);
+    w(size);
+  }
+}
+
+Status HrmService::release(const std::string& name) {
+  return cache_.unpin(name);
+}
+
+std::string HrmService::status(const std::string& name) const {
+  if (cache_.contains(name)) return "cached";
+  if (staging_.count(name)) return "staging";
+  if (tape_->contains(name)) return "archived";
+  return "absent";
+}
+
+void HrmService::dispatch(const std::string& method, Payload request,
+                          rpc::Reply reply) {
+  ByteReader r(request);
+  auto name = r.str();
+  if (!name) {
+    return reply(Error{Errc::protocol_error, "bad HRM request"});
+  }
+  if (method == "STAGE") {
+    stage(*name, [reply = std::move(reply)](Result<Bytes> staged) {
+      if (!staged) return reply(staged.error());
+      ByteWriter w;
+      w.i64(*staged);
+      reply(w.take());
+    });
+    return;
+  }
+  if (method == "RELEASE") {
+    if (auto st = release(*name); !st.ok()) return reply(st.error());
+    return reply(Payload{});
+  }
+  if (method == "STATUS") {
+    ByteWriter w;
+    w.str(status(*name));
+    return reply(w.take());
+  }
+  reply(Error{Errc::protocol_error, "unknown HRM method: " + method});
+}
+
+HrmClient::HrmClient(rpc::Orb& orb, const net::Host& from,
+                     const net::Host& hrm_host)
+    : orb_(orb), from_(from), hrm_(hrm_host) {}
+
+void HrmClient::stage(const std::string& name,
+                      std::function<void(Result<Bytes>)> done,
+                      common::SimDuration timeout) {
+  ByteWriter w;
+  w.str(name);
+  orb_.call(from_, hrm_, "hrm", "STAGE", w.take(),
+            [done = std::move(done)](Result<Payload> r) {
+              if (!r) return done(r.error());
+              ByteReader reader(*r);
+              auto size = reader.i64();
+              if (!size) return done(size.error());
+              done(*size);
+            },
+            timeout);
+}
+
+void HrmClient::release(const std::string& name,
+                        std::function<void(Status)> done) {
+  ByteWriter w;
+  w.str(name);
+  orb_.call(from_, hrm_, "hrm", "RELEASE", w.take(),
+            [done = std::move(done)](Result<Payload> r) {
+              done(r.ok() ? common::ok_status() : Status(r.error()));
+            });
+}
+
+void HrmClient::status(const std::string& name,
+                       std::function<void(Result<std::string>)> done) {
+  ByteWriter w;
+  w.str(name);
+  orb_.call(from_, hrm_, "hrm", "STATUS", w.take(),
+            [done = std::move(done)](Result<Payload> r) {
+              if (!r) return done(r.error());
+              ByteReader reader(*r);
+              done(reader.str());
+            });
+}
+
+}  // namespace esg::hrm

@@ -1,0 +1,98 @@
+// Hierarchical Resource Manager (paper §4: "HRM is a component that sits in
+// front of the MSS (in this case an HPSS system at LBNL) and stages files
+// from the MSS to its local disk cache.  After this action is complete, the
+// RM uses GridFTP to move the file securely over the wide-area network.").
+//
+// The HRM owns a tape library and a pinned-LRU disk cache that mirrors into
+// the host's GridFTP-served namespace: once STAGE replies, the file is
+// fetchable with an ordinary GridFTP GET from the same host.  RELEASE drops
+// the pin so the cache may evict.  Duplicate concurrent STAGEs of one file
+// coalesce onto a single tape read.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/orb.hpp"
+#include "storage/storage.hpp"
+#include "storage/tape.hpp"
+
+namespace esg::hrm {
+
+struct HrmConfig {
+  common::Bytes cache_capacity = 100 * common::kGB;
+  storage::TapeConfig tape;
+};
+
+class HrmService {
+ public:
+  /// `served_storage` is the namespace the co-located GridFTP server reads;
+  /// staged files appear there and evicted files vanish from it.
+  HrmService(rpc::Orb& orb, const net::Host& host,
+             std::shared_ptr<storage::HostStorage> served_storage,
+             HrmConfig config);
+  ~HrmService();
+
+  storage::TapeLibrary& tape() { return *tape_; }
+  storage::DiskCache& cache() { return cache_; }
+  const net::Host& host() const { return host_; }
+
+  /// Archive a file onto tape (dataset publication path).
+  void archive(storage::FileObject file) { tape_->store(std::move(file)); }
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+  // Local (non-RPC) API, used in-process and by the service handlers.
+  void stage(const std::string& name,
+             std::function<void(common::Result<common::Bytes>)> done);
+  common::Status release(const std::string& name);
+  /// "cached", "staging", "archived", or "absent".
+  std::string status(const std::string& name) const;
+
+ private:
+  void dispatch(const std::string& method, rpc::Payload request,
+                rpc::Reply reply);
+  void finish_stage(const std::string& name,
+                    common::Result<storage::FileObject> staged);
+
+  rpc::Orb& orb_;
+  const net::Host& host_;
+  std::shared_ptr<storage::HostStorage> served_;
+  std::unique_ptr<storage::TapeLibrary> tape_;
+  storage::DiskCache cache_;
+  // Waiters per in-flight stage (coalescing).
+  std::map<std::string,
+           std::vector<std::function<void(common::Result<common::Bytes>)>>>
+      staging_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+/// RPC client for a remote HRM.
+class HrmClient {
+ public:
+  HrmClient(rpc::Orb& orb, const net::Host& from, const net::Host& hrm_host);
+
+  /// Ask the HRM to stage a file; the reply arrives when it is on disk and
+  /// pinned.  `timeout` must cover queueing + mount + read.
+  void stage(const std::string& name,
+             std::function<void(common::Result<common::Bytes>)> done,
+             common::SimDuration timeout = 30 * common::kMinute);
+
+  void release(const std::string& name,
+               std::function<void(common::Status)> done);
+
+  void status(const std::string& name,
+              std::function<void(common::Result<std::string>)> done);
+
+ private:
+  rpc::Orb& orb_;
+  const net::Host& from_;
+  const net::Host& hrm_;
+};
+
+}  // namespace esg::hrm

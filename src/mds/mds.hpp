@@ -1,0 +1,87 @@
+// MDS — the Grid information service (paper §5/§6: "NWS information is
+// accessed by the MDS information service").
+//
+// A thin convention layer over the LDAP directory: network-performance
+// records live under ou=network,o=mds and host records under
+// ou=hosts,o=mds.  NWS sensors publish through MdsClient; the request
+// manager queries forecasts through the same client.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "directory/service.hpp"
+
+namespace esg::mds {
+
+using common::Rate;
+using common::SimDuration;
+using common::SimTime;
+
+struct NetworkRecord {
+  std::string src_host;
+  std::string dst_host;
+  Rate bandwidth = 0.0;       // forecast, bytes/second
+  SimDuration latency = 0;    // forecast RTT
+  SimTime updated = 0;
+  bool probe_failed = false;  // last raw probe failed (path likely down)
+};
+
+struct HostRecord {
+  std::string name;
+  std::string site;
+  Rate nic_rate = 0.0;
+  Rate disk_rate = 0.0;
+  /// NWS CPU-availability forecast in [0, 1] (-1 = not published).
+  double cpu_available = -1.0;
+  SimTime updated = 0;
+};
+
+/// Server side: a GRIS-like directory served from `host` as service "mds".
+class MdsService {
+ public:
+  MdsService(rpc::Orb& orb, const net::Host& host);
+
+  const net::Host& host() const { return host_; }
+  directory::DirectoryServer& server() { return service_->server(); }
+
+ private:
+  const net::Host& host_;
+  std::shared_ptr<directory::DirectoryServer> backing_;
+  std::unique_ptr<directory::DirectoryService> service_;
+};
+
+class MdsClient {
+ public:
+  MdsClient(rpc::Orb& orb, const net::Host& from, const net::Host& mds_host);
+
+  void publish_network(const NetworkRecord& record,
+                       std::function<void(common::Status)> done);
+
+  void query_network(
+      const std::string& src_host, const std::string& dst_host,
+      std::function<void(common::Result<NetworkRecord>)> done);
+
+  /// All records with the given destination (replica selection wants the
+  /// bandwidth from every candidate source to one sink).
+  void query_paths_to(
+      const std::string& dst_host,
+      std::function<void(common::Result<std::vector<NetworkRecord>>)> done);
+
+  void publish_host(const HostRecord& record,
+                    std::function<void(common::Status)> done);
+
+  void query_host(const std::string& name,
+                  std::function<void(common::Result<HostRecord>)> done);
+
+  static directory::Dn network_dn(const std::string& src,
+                                  const std::string& dst);
+  static directory::Dn host_dn(const std::string& name);
+  static NetworkRecord network_from_entry(const directory::Entry& entry);
+
+ private:
+  directory::DirectoryClient client_;
+};
+
+}  // namespace esg::mds

@@ -1,0 +1,87 @@
+// CDMS-style metadata catalog (paper §3).
+//
+// "Based on LDAP, this catalog provides a view of data as a collection of
+// datasets, comprised primarily of multidimensional data variables together
+// with descriptive, textual data.  A single dataset may consist of
+// thousands of individual data files ... A CDAT client contains the logic
+// to query the metadata catalog and translate a dataset name, variable
+// name, and spatiotemporal region into the logical file names stored in the
+// replica catalog."
+//
+// DN scheme:
+//   ds=<dataset>,mc=cdms,o=grid           dataset entry
+//   var=<variable>,ds=...                 variable entries (units, long name)
+//   tf=<filename>,ds=...                  time-chunk file entries
+//                                         (startmonth, endmonth exclusive)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "directory/service.hpp"
+
+namespace esg::metadata {
+
+struct VariableDesc {
+  std::string name;
+  std::string units;
+  std::string long_name;
+};
+
+struct DatasetInfo {
+  std::string name;             // e.g. "pcmdi-ocean-r1"
+  std::string model;            // e.g. "esg-synthetic-v1"
+  std::string institution;      // e.g. "LLNL/PCMDI"
+  std::string collection;       // replica-catalog logical collection
+  int start_month = 0;          // absolute month index of first sample
+  int n_months = 0;
+  int months_per_file = 12;     // time-chunking of files
+  std::vector<VariableDesc> variables;
+
+  /// Canonical chunk file name covering [m0, m0+months_per_file).
+  std::string file_name(int chunk_index) const;
+  int chunk_count() const;
+};
+
+/// A (collection, filename) pair plus its time coverage — what the CDAT
+/// layer hands to the request manager.
+struct LogicalFileRef {
+  std::string collection;
+  std::string filename;
+  int start_month = 0;
+  int end_month = 0;  // exclusive
+};
+
+class MetadataCatalog {
+ public:
+  explicit MetadataCatalog(directory::DirectoryClient client);
+
+  using StatusCb = std::function<void(common::Status)>;
+
+  /// Publish a dataset: the ds= entry, per-variable entries, and one tf=
+  /// entry per time chunk.
+  void publish_dataset(const DatasetInfo& dataset, StatusCb done);
+
+  void lookup_dataset(const std::string& name,
+                      std::function<void(common::Result<DatasetInfo>)> done);
+
+  void list_datasets(
+      std::function<void(common::Result<std::vector<std::string>>)> done);
+
+  /// The CDAT translation step: (dataset, variable, month range) ->
+  /// logical file names.  `month_end` is exclusive.  Fails if the variable
+  /// is not part of the dataset or the range misses the dataset entirely.
+  void files_for(const std::string& dataset, const std::string& variable,
+                 int month_start, int month_end,
+                 std::function<void(common::Result<std::vector<LogicalFileRef>>)>
+                     done);
+
+  static directory::Dn root_dn();
+  static directory::Dn dataset_dn(const std::string& name);
+
+ private:
+  directory::DirectoryClient client_;
+};
+
+}  // namespace esg::metadata

@@ -1,0 +1,325 @@
+#include "ncformat/ncx.hpp"
+
+#include <cstring>
+
+namespace esg::ncformat {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+
+namespace {
+constexpr char kMagic[4] = {'N', 'C', 'X', '1'};
+}
+
+std::size_t type_size(DataType t) {
+  return t == DataType::f32 ? 4 : 8;
+}
+
+std::uint64_t VariableInfo::element_count(
+    const std::vector<Dimension>& dims_table) const {
+  std::uint64_t n = 1;
+  for (const auto& dname : dims) {
+    for (const auto& d : dims_table) {
+      if (d.name == dname) {
+        n *= d.size;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void NcxWriter::add_dimension(const std::string& name, std::uint32_t size) {
+  dims_.push_back(Dimension{name, size});
+}
+
+void NcxWriter::add_global_attr(const std::string& name,
+                                const std::string& value) {
+  global_attrs_[name] = value;
+}
+
+Status NcxWriter::add_variable(const std::string& name, DataType type,
+                               const std::vector<std::string>& dims,
+                               const std::vector<double>& data,
+                               std::map<std::string, std::string> attrs) {
+  std::uint64_t expect = 1;
+  for (const auto& dname : dims) {
+    bool found = false;
+    for (const auto& d : dims_) {
+      if (d.name == dname) {
+        expect *= d.size;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Error{Errc::invalid_argument, "unknown dimension: " + dname};
+    }
+  }
+  if (data.size() != expect) {
+    return Error{Errc::invalid_argument,
+                 "data length " + std::to_string(data.size()) +
+                     " != dimension product " + std::to_string(expect)};
+  }
+  PendingVar v;
+  v.info.name = name;
+  v.info.type = type;
+  v.info.dims = dims;
+  v.info.attrs = std::move(attrs);
+  v.data = data;
+  vars_.push_back(std::move(v));
+  return common::ok_status();
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> NcxWriter::finish() const {
+  // First pass: header with zero offsets to learn its size, then rewrite.
+  // Offsets are deterministic given the header length, so encode the header
+  // twice with the second pass using real offsets.
+  auto encode_header = [this](const std::vector<std::uint64_t>& offsets,
+                              ByteWriter& w) {
+    w.raw(kMagic, 4);
+    w.u32(static_cast<std::uint32_t>(dims_.size()));
+    for (const auto& d : dims_) {
+      w.str(d.name);
+      w.u32(d.size);
+    }
+    w.u32(static_cast<std::uint32_t>(global_attrs_.size()));
+    for (const auto& [k, v] : global_attrs_) {
+      w.str(k);
+      w.str(v);
+    }
+    w.u32(static_cast<std::uint32_t>(vars_.size()));
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      const auto& v = vars_[i];
+      w.str(v.info.name);
+      w.u8(static_cast<std::uint8_t>(v.info.type));
+      w.u32(static_cast<std::uint32_t>(v.info.dims.size()));
+      for (const auto& d : v.info.dims) w.str(d);
+      w.u32(static_cast<std::uint32_t>(v.info.attrs.size()));
+      for (const auto& [k, val] : v.info.attrs) {
+        w.str(k);
+        w.str(val);
+      }
+      w.u64(offsets.empty() ? 0 : offsets[i]);
+      w.u64(v.data.size() * type_size(v.info.type));
+    }
+  };
+
+  ByteWriter probe;
+  encode_header(std::vector<std::uint64_t>(vars_.size(), 0), probe);
+  const std::uint64_t header_size = probe.size();
+
+  std::vector<std::uint64_t> offsets(vars_.size());
+  std::uint64_t cursor = header_size;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    offsets[i] = cursor;
+    cursor += vars_[i].data.size() * type_size(vars_[i].info.type);
+  }
+
+  ByteWriter out;
+  encode_header(offsets, out);
+  for (const auto& v : vars_) {
+    if (v.info.type == DataType::f32) {
+      for (double d : v.data) {
+        const float f = static_cast<float>(d);
+        out.raw(&f, sizeof f);
+      }
+    } else {
+      for (double d : v.data) out.raw(&d, sizeof d);
+    }
+  }
+  // Integrity footer: FNV-1a over everything before it, verified on open.
+  auto bytes = out.take();
+  const std::uint64_t checksum = common::fnv1a64(bytes.data(), bytes.size());
+  bytes.resize(bytes.size() + 8);
+  std::memcpy(bytes.data() + bytes.size() - 8, &checksum, 8);
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+Result<NcxReader> NcxReader::open(
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+  if (!bytes) {
+    return Error{Errc::invalid_argument, "null ncx buffer"};
+  }
+  NcxReader reader;
+  reader.bytes_ = std::move(bytes);
+  ByteReader r(*reader.bytes_);
+  char magic[4];
+  if (reader.bytes_->size() < 12) {  // magic + checksum footer
+    return Error{Errc::protocol_error, "ncx: truncated file"};
+  }
+  std::memcpy(magic, reader.bytes_->data(), 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Error{Errc::protocol_error, "ncx: bad magic"};
+  }
+  // Verify the integrity footer before trusting any header field.
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, reader.bytes_->data() + reader.bytes_->size() - 8, 8);
+  const std::uint64_t computed =
+      common::fnv1a64(reader.bytes_->data(), reader.bytes_->size() - 8);
+  if (stored != computed) {
+    return Error{Errc::protocol_error, "ncx: checksum mismatch (corrupt file)"};
+  }
+  if (auto st = r.skip(4); !st.ok()) return st.error();
+
+  auto ndims = r.u32();
+  if (!ndims) return ndims.error();
+  for (std::uint32_t i = 0; i < *ndims; ++i) {
+    auto name = r.str();
+    auto size = r.u32();
+    if (!name || !size) return Error{Errc::protocol_error, "ncx: bad dims"};
+    reader.dims_.push_back(Dimension{std::move(*name), *size});
+  }
+  auto ngattrs = r.u32();
+  if (!ngattrs) return ngattrs.error();
+  for (std::uint32_t i = 0; i < *ngattrs; ++i) {
+    auto k = r.str();
+    auto v = r.str();
+    if (!k || !v) return Error{Errc::protocol_error, "ncx: bad gattrs"};
+    reader.global_attrs_[std::move(*k)] = std::move(*v);
+  }
+  auto nvars = r.u32();
+  if (!nvars) return nvars.error();
+  for (std::uint32_t i = 0; i < *nvars; ++i) {
+    VariableInfo v;
+    auto name = r.str();
+    auto type = r.u8();
+    if (!name || !type || *type > 1) {
+      return Error{Errc::protocol_error, "ncx: bad var header"};
+    }
+    v.name = std::move(*name);
+    v.type = static_cast<DataType>(*type);
+    auto nd = r.u32();
+    if (!nd) return nd.error();
+    for (std::uint32_t j = 0; j < *nd; ++j) {
+      auto d = r.str();
+      if (!d) return d.error();
+      v.dims.push_back(std::move(*d));
+    }
+    auto na = r.u32();
+    if (!na) return na.error();
+    for (std::uint32_t j = 0; j < *na; ++j) {
+      auto k = r.str();
+      auto val = r.str();
+      if (!k || !val) return Error{Errc::protocol_error, "ncx: bad attrs"};
+      v.attrs[std::move(*k)] = std::move(*val);
+    }
+    auto off = r.u64();
+    auto nb = r.u64();
+    if (!off || !nb) return Error{Errc::protocol_error, "ncx: bad var size"};
+    v.offset = *off;
+    v.nbytes = *nb;
+    if (v.offset + v.nbytes > reader.bytes_->size()) {
+      return Error{Errc::protocol_error, "ncx: data past end of file"};
+    }
+    reader.vars_.push_back(std::move(v));
+  }
+  return reader;
+}
+
+std::vector<std::string> NcxReader::variable_names() const {
+  std::vector<std::string> out;
+  out.reserve(vars_.size());
+  for (const auto& v : vars_) out.push_back(v.name);
+  return out;
+}
+
+Result<VariableInfo> NcxReader::variable(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v.name == name) return v;
+  }
+  return Error{Errc::not_found, "ncx: no variable " + name};
+}
+
+Result<std::uint32_t> NcxReader::dimension_size(const std::string& name) const {
+  for (const auto& d : dims_) {
+    if (d.name == name) return d.size;
+  }
+  return Error{Errc::not_found, "ncx: no dimension " + name};
+}
+
+Result<std::vector<double>> NcxReader::read(const std::string& name) const {
+  auto v = variable(name);
+  if (!v) return v.error();
+  const std::size_t esize = type_size(v->type);
+  const std::uint64_t n = v->nbytes / esize;
+  std::vector<double> out(n);
+  const std::uint8_t* base = bytes_->data() + v->offset;
+  if (v->type == DataType::f32) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      float f;
+      std::memcpy(&f, base + i * 4, 4);
+      out[i] = f;
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double d;
+      std::memcpy(&d, base + i * 8, 8);
+      out[i] = d;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> NcxReader::read_slab(
+    const std::string& name, const std::vector<std::uint32_t>& start,
+    const std::vector<std::uint32_t>& count) const {
+  auto v = variable(name);
+  if (!v) return v.error();
+  if (start.size() != v->dims.size() || count.size() != v->dims.size()) {
+    return Error{Errc::invalid_argument, "ncx: slab rank mismatch"};
+  }
+  // Resolve dimension extents.
+  std::vector<std::uint64_t> extent(v->dims.size());
+  for (std::size_t i = 0; i < v->dims.size(); ++i) {
+    auto sz = dimension_size(v->dims[i]);
+    if (!sz) return sz.error();
+    extent[i] = *sz;
+    if (static_cast<std::uint64_t>(start[i]) + count[i] > extent[i]) {
+      return Error{Errc::invalid_argument,
+                   "ncx: slab out of range on " + v->dims[i]};
+    }
+  }
+  // Row-major strides.
+  std::vector<std::uint64_t> stride(v->dims.size(), 1);
+  for (std::size_t i = v->dims.size(); i-- > 1;) {
+    stride[i - 1] = stride[i] * extent[i];
+  }
+
+  std::uint64_t total = 1;
+  for (auto c : count) total *= c;
+  std::vector<double> out;
+  out.reserve(total);
+
+  const std::size_t esize = type_size(v->type);
+  const std::uint8_t* base = bytes_->data() + v->offset;
+  // Iterate the slab index space (odometer).
+  std::vector<std::uint32_t> idx(v->dims.size(), 0);
+  for (std::uint64_t k = 0; k < total; ++k) {
+    std::uint64_t flat = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      flat += (start[i] + idx[i]) * stride[i];
+    }
+    if (v->type == DataType::f32) {
+      float f;
+      std::memcpy(&f, base + flat * esize, 4);
+      out.push_back(f);
+    } else {
+      double d;
+      std::memcpy(&d, base + flat * esize, 8);
+      out.push_back(d);
+    }
+    // Increment odometer (innermost fastest).
+    for (std::size_t i = idx.size(); i-- > 0;) {
+      if (++idx[i] < count[i]) break;
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace esg::ncformat

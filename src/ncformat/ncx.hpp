@@ -1,0 +1,104 @@
+// ncx — a small self-describing binary array format standing in for netCDF.
+//
+// The paper's datasets are "thousands of individual data files stored in a
+// self-describing binary format such as netCDF" (§3).  ncx reproduces the
+// parts CDMS-style tooling needs: named dimensions, typed multidimensional
+// variables with attributes, global attributes, and hyperslab reads.
+//
+// Layout (little-endian):
+//   magic "NCX1"
+//   u32 ndims    { str name, u32 size } *
+//   u32 ngattrs  { str name, str value } *
+//   u32 nvars    { str name, u8 type, u32 ndims { str dim } *,
+//                  u32 nattrs { str, str } *, u64 offset, u64 nbytes } *
+//   data blobs (row-major, dimension order as declared per variable)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytebuf.hpp"
+#include "common/result.hpp"
+
+namespace esg::ncformat {
+
+enum class DataType : std::uint8_t { f32 = 0, f64 = 1 };
+
+std::size_t type_size(DataType t);
+
+struct Dimension {
+  std::string name;
+  std::uint32_t size = 0;
+};
+
+struct VariableInfo {
+  std::string name;
+  DataType type = DataType::f32;
+  std::vector<std::string> dims;  // names, outermost first
+  std::map<std::string, std::string> attrs;
+  std::uint64_t offset = 0;  // data blob position (filled by the codec)
+  std::uint64_t nbytes = 0;
+
+  /// Element count = product of dimension sizes (resolved via the file).
+  std::uint64_t element_count(const std::vector<Dimension>& dims_table) const;
+};
+
+class NcxWriter {
+ public:
+  void add_dimension(const std::string& name, std::uint32_t size);
+  void add_global_attr(const std::string& name, const std::string& value);
+
+  /// Declare a variable over previously added dimensions and provide its
+  /// data (row-major, converted to `type` on encode).  The data length must
+  /// equal the product of the dimension sizes.
+  common::Status add_variable(const std::string& name, DataType type,
+                              const std::vector<std::string>& dims,
+                              const std::vector<double>& data,
+                              std::map<std::string, std::string> attrs = {});
+
+  /// Encode the file.
+  std::shared_ptr<const std::vector<std::uint8_t>> finish() const;
+
+ private:
+  struct PendingVar {
+    VariableInfo info;
+    std::vector<double> data;
+  };
+  std::vector<Dimension> dims_;
+  std::map<std::string, std::string> global_attrs_;
+  std::vector<PendingVar> vars_;
+};
+
+class NcxReader {
+ public:
+  /// Parse a file; the reader shares ownership of the bytes.
+  static common::Result<NcxReader> open(
+      std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+  const std::map<std::string, std::string>& global_attrs() const {
+    return global_attrs_;
+  }
+  std::vector<std::string> variable_names() const;
+  common::Result<VariableInfo> variable(const std::string& name) const;
+  common::Result<std::uint32_t> dimension_size(const std::string& name) const;
+
+  /// Full read of a variable as doubles (row-major).
+  common::Result<std::vector<double>> read(const std::string& name) const;
+
+  /// Hyperslab read: `start` and `count` per dimension, outermost first.
+  common::Result<std::vector<double>> read_slab(
+      const std::string& name, const std::vector<std::uint32_t>& start,
+      const std::vector<std::uint32_t>& count) const;
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes_;
+  std::vector<Dimension> dims_;
+  std::map<std::string, std::string> global_attrs_;
+  std::vector<VariableInfo> vars_;
+};
+
+}  // namespace esg::ncformat

@@ -1,0 +1,41 @@
+#include "net/background.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esg::net {
+
+BackgroundTraffic::BackgroundTraffic(Network& network, Resource* resource,
+                                     BackgroundConfig config)
+    : net_(network),
+      resource_(resource),
+      config_(config),
+      rng_(config.seed),
+      phase_(0.0) {
+  phase_ = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+  const auto apply = [this] {
+    const double noise = rng_.normal();
+    net_.fluid().set_background(resource_,
+                                load_at(net_.simulation().now(), noise));
+  };
+  apply();
+  tick_ = net_.simulation().schedule_every(config_.update_interval, [apply] {
+    apply();
+    return true;
+  });
+}
+
+BackgroundTraffic::~BackgroundTraffic() { stop(); }
+
+void BackgroundTraffic::stop() { tick_.cancel(); }
+
+Rate BackgroundTraffic::load_at(SimTime t, double noise) const {
+  const double omega =
+      2.0 * 3.14159265358979323846 / common::to_seconds(config_.period);
+  const double s = std::sin(omega * common::to_seconds(t) + phase_);
+  const double value = config_.mean + config_.amplitude * s +
+                       config_.noise_frac * config_.mean * noise;
+  return std::max(0.0, value);
+}
+
+}  // namespace esg::net

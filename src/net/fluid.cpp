@@ -1,0 +1,317 @@
+#include "net/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace esg::net {
+
+namespace {
+// Rates are bytes/second up to a few 1e8; one byte/s of slack is noise.
+constexpr double kRateEps = 1e-6;
+constexpr double kByteEps = 0.5;  // "done" when less than half a byte remains
+}  // namespace
+
+FluidNetwork::FluidNetwork(sim::Simulation& simulation,
+                           SimDuration poll_interval)
+    : sim_(simulation), poll_interval_(poll_interval) {
+  last_integration_ = sim_.now();
+}
+
+FluidNetwork::~FluidNetwork() {
+  next_event_.cancel();
+  poll_event_.cancel();
+}
+
+Resource* FluidNetwork::add_resource(std::string name, Rate capacity) {
+  auto res = std::make_unique<Resource>(name, capacity);
+  Resource* ptr = res.get();
+  auto [it, inserted] = resources_.emplace(std::move(name), std::move(res));
+  assert(inserted && "duplicate resource name");
+  (void)it;
+  return ptr;
+}
+
+Resource* FluidNetwork::find_resource(const std::string& name) {
+  auto it = resources_.find(name);
+  return it == resources_.end() ? nullptr : it->second.get();
+}
+
+void FluidNetwork::set_down(Resource* resource, bool down) {
+  assert(resource != nullptr);
+  if (resource->down_ == down) return;
+  resource->down_ = down;
+  touch();
+}
+
+void FluidNetwork::set_background(Resource* resource, Rate load) {
+  assert(resource != nullptr);
+  resource->background_ = std::max(0.0, load);
+  touch();
+}
+
+void FluidNetwork::set_capacity(Resource* resource, Rate capacity) {
+  assert(resource != nullptr);
+  resource->nominal_ = std::max(0.0, capacity);
+  touch();
+}
+
+TransferId FluidNetwork::start_transfer(std::vector<FlowSpec> flows,
+                                        Bytes total,
+                                        TransferCallbacks callbacks) {
+  assert(!flows.empty());
+  Transfer t;
+  t.id = next_id_++;
+  t.total = total < 0 ? -1.0 : static_cast<double>(total);
+  t.callbacks = std::move(callbacks);
+  t.flows.reserve(flows.size());
+  for (auto& spec : flows) {
+    Flow f;
+    f.path = std::move(spec.path);
+    f.cap = spec.cap;
+    t.flows.push_back(std::move(f));
+  }
+  const TransferId id = t.id;
+  transfers_.emplace(id, std::move(t));
+  touch();
+  // A zero-byte transfer may already have completed inside touch().
+  if (!transfers_.empty()) ensure_polling();
+  return id;
+}
+
+Bytes FluidNetwork::cancel_transfer(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return 0;
+  // Account bytes up to this instant before dropping the transfer.
+  integrate_to_now();
+  const auto delivered = static_cast<Bytes>(it->second.delivered + kByteEps);
+  transfers_.erase(it);
+  touch();
+  return delivered;
+}
+
+void FluidNetwork::set_flow_cap(TransferId id, std::size_t flow_index,
+                                Rate cap) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  assert(flow_index < it->second.flows.size());
+  it->second.flows[flow_index].cap = cap;
+  touch();
+}
+
+void FluidNetwork::add_flow(TransferId id, FlowSpec flow) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Flow f;
+  f.path = std::move(flow.path);
+  f.cap = flow.cap;
+  it->second.flows.push_back(std::move(f));
+  touch();
+}
+
+bool FluidNetwork::transfer_active(TransferId id) const {
+  return transfers_.count(id) > 0;
+}
+
+Bytes FluidNetwork::transferred(TransferId id) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return 0;
+  // Include bytes accrued since the last integration point.
+  const double dt = common::to_seconds(sim_.now() - last_integration_);
+  double v = it->second.delivered + it->second.rate() * dt;
+  if (it->second.total >= 0.0) v = std::min(v, it->second.total);
+  return static_cast<Bytes>(v + kByteEps);
+}
+
+Bytes FluidNetwork::flow_transferred(TransferId id,
+                                     std::size_t flow_index) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end() || flow_index >= it->second.flows.size()) return 0;
+  const auto& f = it->second.flows[flow_index];
+  const double dt = common::to_seconds(sim_.now() - last_integration_);
+  return static_cast<Bytes>(f.delivered + f.rate * dt + kByteEps);
+}
+
+Rate FluidNetwork::current_rate(TransferId id) const {
+  auto it = transfers_.find(id);
+  return it == transfers_.end() ? 0.0 : it->second.rate();
+}
+
+Rate FluidNetwork::flow_rate(TransferId id, std::size_t flow_index) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end() || flow_index >= it->second.flows.size()) return 0.0;
+  return it->second.flows[flow_index].rate;
+}
+
+void FluidNetwork::update() { touch(); }
+
+void FluidNetwork::integrate_to_now() {
+  const SimTime now = sim_.now();
+  if (now <= last_integration_) return;
+  const double dt = common::to_seconds(now - last_integration_);
+  last_integration_ = now;
+  for (auto& [id, t] : transfers_) {
+    double earned = 0.0;
+    for (auto& f : t.flows) {
+      const double d = f.rate * dt;
+      f.delivered += d;
+      earned += d;
+    }
+    if (earned <= 0.0) continue;
+    // Never drain past the pool: clamp (floating error at completion).
+    if (t.total >= 0.0 && t.delivered + earned > t.total) {
+      earned = t.total - t.delivered;
+    }
+    t.delivered += earned;
+  }
+}
+
+void FluidNetwork::reallocate() {
+  // Progressive filling (water-filling) with per-flow caps.  Every flow ends
+  // either frozen at its cap or crossing a saturated resource — the classic
+  // max-min optimality condition, asserted by the property tests.
+  struct Entry {
+    Flow* flow;
+    bool frozen = false;
+  };
+  std::vector<Entry> entries;
+  for (auto& [id, t] : transfers_) {
+    for (auto& f : t.flows) {
+      f.rate = 0.0;
+      entries.push_back(Entry{&f});
+    }
+  }
+  if (entries.empty()) return;
+
+  std::map<const Resource*, double> usage;
+  std::map<const Resource*, int> unfrozen_count;
+  for (auto& e : entries) {
+    for (const Resource* r : e.flow->path) {
+      usage.emplace(r, 0.0);
+      ++unfrozen_count[r];
+    }
+  }
+
+  std::size_t unfrozen = entries.size();
+  while (unfrozen > 0) {
+    // The largest uniform rate increase every unfrozen flow can take.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto& e : entries) {
+      if (e.frozen) continue;
+      delta = std::min(delta, e.flow->cap - e.flow->rate);
+    }
+    for (const auto& [r, n] : unfrozen_count) {
+      if (n <= 0) continue;
+      const double room = r->effective_capacity() - usage[r];
+      delta = std::min(delta, room / n);
+    }
+    if (!std::isfinite(delta)) {
+      // No cap and no resource constrains these flows; they are idle paths
+      // in tests.  Freeze at an arbitrarily large rate.
+      delta = 0.0;
+      for (auto& e : entries) {
+        if (!e.frozen) {
+          e.flow->rate = e.flow->cap;  // cap is infinite here; harmless
+          e.frozen = true;
+        }
+      }
+      break;
+    }
+    delta = std::max(0.0, delta);
+    if (delta > 0.0) {
+      for (auto& e : entries) {
+        if (e.frozen) continue;
+        e.flow->rate += delta;
+        for (const Resource* r : e.flow->path) usage[r] += delta;
+      }
+    }
+    // Freeze flows at their cap or crossing a saturated resource.
+    bool any_frozen = false;
+    for (auto& e : entries) {
+      if (e.frozen) continue;
+      bool freeze = e.flow->rate >= e.flow->cap - kRateEps;
+      if (!freeze) {
+        for (const Resource* r : e.flow->path) {
+          if (usage[r] >= r->effective_capacity() - kRateEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        e.frozen = true;
+        any_frozen = true;
+        --unfrozen;
+        for (const Resource* r : e.flow->path) --unfrozen_count[r];
+      }
+    }
+    if (!any_frozen) break;  // numerical safety: guarantee progress
+  }
+}
+
+void FluidNetwork::schedule_next_event() {
+  next_event_.cancel();
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, t] : transfers_) {
+    const double rem = t.remaining();
+    if (!std::isfinite(rem)) continue;
+    const Rate rate = t.rate();
+    if (rate <= kRateEps) continue;
+    earliest = std::min(earliest, rem / rate);
+  }
+  if (!std::isfinite(earliest)) return;
+  const auto delay = static_cast<SimDuration>(
+      std::ceil(earliest * static_cast<double>(common::kSecond)));
+  next_event_ = sim_.schedule_after(std::max<SimDuration>(0, delay),
+                                    [this] { touch(); });
+}
+
+void FluidNetwork::touch() {
+  if (in_touch_) {
+    dirty_ = true;
+    return;
+  }
+  in_touch_ = true;
+  do {
+    dirty_ = false;
+    integrate_to_now();
+
+    // Surface progress and collect completions before reallocating, since
+    // completion callbacks typically start follow-on transfers.
+    std::vector<TransferId> completed;
+    std::vector<std::function<void()>> notify;
+    for (auto& [id, t] : transfers_) {
+      const double delta = t.delivered - t.reported;
+      if (delta >= 1.0 && t.callbacks.on_progress) {
+        const auto whole = static_cast<Bytes>(delta);
+        t.reported += static_cast<double>(whole);
+        // Defer: user callbacks must not see a half-updated network.
+        auto cb = t.callbacks.on_progress;
+        const SimTime now = sim_.now();
+        notify.push_back([cb, whole, now] { cb(whole, now); });
+      }
+      if (t.total >= 0.0 && t.remaining() <= kByteEps) {
+        completed.push_back(id);
+        if (t.callbacks.on_complete) notify.push_back(t.callbacks.on_complete);
+      }
+    }
+    for (TransferId id : completed) transfers_.erase(id);
+    for (auto& fn : notify) fn();  // may re-enter touch(); sets dirty_
+
+    reallocate();
+    schedule_next_event();
+  } while (dirty_);
+  in_touch_ = false;
+  if (transfers_.empty()) poll_event_.cancel();
+}
+
+void FluidNetwork::ensure_polling() {
+  if (poll_interval_ <= 0 || poll_event_.pending()) return;
+  poll_event_ = sim_.schedule_every(poll_interval_, [this] {
+    if (transfers_.empty()) return false;  // stop ticking when idle
+    touch();
+    return true;
+  });
+}
+
+}  // namespace esg::net

@@ -1,0 +1,184 @@
+// Fluid-flow network model.
+//
+// This is the substrate that stands in for the paper's SC'2000 testbed
+// (SciNET / NTON / HSCC, Fig 7).  Everything that can limit a transfer is a
+// capacitated Resource: a WAN segment, a NIC, a host CPU (the paper observed
+// GbE hosts pegged at 100% CPU servicing interrupts), or a disk (the Fig 8
+// plateau sits below the NIC rate because of disk bandwidth).  A Transfer is
+// a group of Flows (one per TCP stream) that drain a shared byte pool — this
+// models GridFTP's extended block mode, where any stream may carry any block
+// of the file.
+//
+// Rates are assigned by progressive filling (max-min fairness with per-flow
+// caps): every flow is either limited by its own cap (TCP window / loss
+// model, see net/tcp.hpp) or crosses at least one saturated resource.
+// Between rate changes flows progress linearly, so the simulator only needs
+// events at mutations and at exactly-predicted completions, plus an optional
+// periodic poll that gives the bandwidth samplers their 100 ms resolution
+// (Table 1 reports a peak over 0.1 s).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace esg::net {
+
+using common::Bytes;
+using common::Rate;
+using common::SimDuration;
+using common::SimTime;
+
+inline constexpr Rate kUnlimitedRate = std::numeric_limits<Rate>::infinity();
+inline constexpr Bytes kUnboundedBytes = -1;
+
+/// A capacitated element of the data path.  Capacity is in bytes/second.
+class Resource {
+ public:
+  Resource(std::string name, Rate capacity)
+      : name_(std::move(name)), nominal_(capacity) {}
+
+  const std::string& name() const { return name_; }
+  Rate nominal_capacity() const { return nominal_; }
+  bool down() const { return down_; }
+  Rate background_load() const { return background_; }
+
+  /// Capacity available to foreground flows right now.
+  Rate effective_capacity() const {
+    if (down_) return 0.0;
+    return std::max(0.0, nominal_ - background_);
+  }
+
+ private:
+  friend class FluidNetwork;
+  std::string name_;
+  Rate nominal_;
+  Rate background_ = 0.0;  // consumed by modeled cross-traffic
+  bool down_ = false;      // failure injection
+};
+
+/// One TCP stream's path and its self-imposed rate cap.
+struct FlowSpec {
+  std::vector<const Resource*> path;
+  Rate cap = kUnlimitedRate;
+};
+
+struct TransferCallbacks {
+  /// Called whenever bytes are integrated (at every network event and poll
+  /// tick): delta bytes since the previous call.
+  std::function<void(Bytes delta, SimTime now)> on_progress;
+  /// Called exactly once when the transfer's byte pool drains.
+  std::function<void()> on_complete;
+};
+
+using TransferId = std::uint64_t;
+
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(sim::Simulation& simulation,
+                        SimDuration poll_interval = 100 * common::kMillisecond);
+  ~FluidNetwork();
+
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
+  // ---- resources ----
+
+  /// Create a resource; the returned pointer is stable for the network's
+  /// lifetime.  Names must be unique.
+  Resource* add_resource(std::string name, Rate capacity);
+
+  Resource* find_resource(const std::string& name);
+
+  /// Failure injection: a down resource passes zero bytes.
+  void set_down(Resource* resource, bool down);
+
+  /// Modeled cross-traffic occupying part of a resource's capacity.
+  void set_background(Resource* resource, Rate load);
+
+  /// Change a resource's nominal capacity (e.g. link upgrade experiments).
+  void set_capacity(Resource* resource, Rate capacity);
+
+  // ---- transfers ----
+
+  /// Begin a transfer of `total` bytes (kUnboundedBytes = run until
+  /// cancelled) carried by `flows`.  Returns an id used for later control.
+  TransferId start_transfer(std::vector<FlowSpec> flows, Bytes total,
+                            TransferCallbacks callbacks);
+
+  /// Stop a transfer; no further callbacks fire.  Returns bytes delivered.
+  Bytes cancel_transfer(TransferId id);
+
+  /// Adjust one member flow's cap (slow-start ramp, AIMD backoff).
+  void set_flow_cap(TransferId id, std::size_t flow_index, Rate cap);
+
+  /// Add another member flow to a running transfer (parallelism changes).
+  void add_flow(TransferId id, FlowSpec flow);
+
+  bool transfer_active(TransferId id) const;
+  Bytes transferred(TransferId id) const;
+  /// Bytes carried by one member flow (per-stripe restart markers).
+  Bytes flow_transferred(TransferId id, std::size_t flow_index) const;
+  /// Current aggregate rate of the transfer (post-allocation).
+  Rate current_rate(TransferId id) const;
+  /// Current rate of one member flow.
+  Rate flow_rate(TransferId id, std::size_t flow_index) const;
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+
+  /// Force integration + reallocation now (tests use this).
+  void update();
+
+ private:
+  struct Flow {
+    std::vector<const Resource*> path;
+    Rate cap = kUnlimitedRate;
+    Rate rate = 0.0;
+    double delivered = 0.0;  // bytes carried by this flow
+  };
+
+  struct Transfer {
+    TransferId id = 0;
+    std::vector<Flow> flows;
+    double total = -1.0;      // <0: unbounded
+    double delivered = 0.0;   // bytes drained from the pool
+    double reported = 0.0;    // bytes already surfaced via on_progress
+    TransferCallbacks callbacks;
+
+    double remaining() const {
+      return total < 0 ? std::numeric_limits<double>::infinity()
+                       : total - delivered;
+    }
+    Rate rate() const {
+      Rate sum = 0.0;
+      for (const auto& f : flows) sum += f.rate;
+      return sum;
+    }
+  };
+
+  void integrate_to_now();
+  void reallocate();
+  void schedule_next_event();
+  void touch();  // integrate, run completions, reallocate, reschedule
+  void ensure_polling();
+
+  sim::Simulation& sim_;
+  SimDuration poll_interval_;
+  std::map<std::string, std::unique_ptr<Resource>> resources_;
+  std::map<TransferId, Transfer> transfers_;
+  TransferId next_id_ = 1;
+  SimTime last_integration_ = 0;
+  sim::EventHandle next_event_;
+  sim::EventHandle poll_event_;
+  bool in_touch_ = false;
+  bool dirty_ = false;
+};
+
+}  // namespace esg::net

@@ -1,0 +1,160 @@
+#include "nws/forecast.hpp"
+
+#include <limits>
+
+namespace esg::nws {
+
+namespace {
+
+class LastValue final : public Forecaster {
+ public:
+  void observe(double value) override { last_ = value; }
+  double predict() const override { return last_; }
+  const std::string& name() const override {
+    static const std::string n = "last";
+    return n;
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+class RunningMean final : public Forecaster {
+ public:
+  void observe(double value) override { stats_.add(value); }
+  double predict() const override { return stats_.mean(); }
+  const std::string& name() const override {
+    static const std::string n = "mean";
+    return n;
+  }
+
+ private:
+  common::OnlineStats stats_;
+};
+
+class SlidingMean final : public Forecaster {
+ public:
+  explicit SlidingMean(std::size_t window)
+      : window_(window), name_("mean" + std::to_string(window)) {}
+  void observe(double value) override { window_.push(value); }
+  double predict() const override { return window_.mean(); }
+  const std::string& name() const override { return name_; }
+
+ private:
+  common::SlidingWindow window_;
+  std::string name_;
+};
+
+class SlidingMedian final : public Forecaster {
+ public:
+  explicit SlidingMedian(std::size_t window)
+      : window_(window), name_("median" + std::to_string(window)) {}
+  void observe(double value) override { window_.push(value); }
+  double predict() const override { return window_.median(); }
+  const std::string& name() const override { return name_; }
+
+ private:
+  common::SlidingWindow window_;
+  std::string name_;
+};
+
+class ExpSmoothing final : public Forecaster {
+ public:
+  explicit ExpSmoothing(double alpha)
+      : alpha_(alpha), name_("exp" + std::to_string(alpha).substr(0, 4)) {}
+  void observe(double value) override {
+    state_ = seen_ ? alpha_ * value + (1.0 - alpha_) * state_ : value;
+    seen_ = true;
+  }
+  double predict() const override { return state_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  double alpha_;
+  double state_ = 0.0;
+  bool seen_ = false;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Forecaster> make_last_value() {
+  return std::make_unique<LastValue>();
+}
+std::unique_ptr<Forecaster> make_running_mean() {
+  return std::make_unique<RunningMean>();
+}
+std::unique_ptr<Forecaster> make_sliding_mean(std::size_t window) {
+  return std::make_unique<SlidingMean>(window);
+}
+std::unique_ptr<Forecaster> make_sliding_median(std::size_t window) {
+  return std::make_unique<SlidingMedian>(window);
+}
+std::unique_ptr<Forecaster> make_exp_smoothing(double alpha) {
+  return std::make_unique<ExpSmoothing>(alpha);
+}
+
+AdaptiveForecaster::AdaptiveForecaster() {
+  battery_.push_back(make_last_value());
+  battery_.push_back(make_running_mean());
+  battery_.push_back(make_sliding_mean(10));
+  battery_.push_back(make_sliding_mean(30));
+  battery_.push_back(make_sliding_median(10));
+  battery_.push_back(make_sliding_median(30));
+  battery_.push_back(make_exp_smoothing(0.2));
+  battery_.push_back(make_exp_smoothing(0.5));
+  squared_error_.assign(battery_.size(), 0.0);
+}
+
+AdaptiveForecaster::AdaptiveForecaster(
+    std::vector<std::unique_ptr<Forecaster>> battery)
+    : battery_(std::move(battery)) {
+  squared_error_.assign(battery_.size(), 0.0);
+}
+
+void AdaptiveForecaster::observe(double value) {
+  // Score every member's standing prediction against the new truth, then
+  // let them all learn it.
+  if (n_ > 0) {
+    for (std::size_t i = 0; i < battery_.size(); ++i) {
+      const double err = battery_[i]->predict() - value;
+      squared_error_[i] += err * err;
+    }
+  }
+  for (auto& f : battery_) f->observe(value);
+  ++n_;
+}
+
+std::size_t AdaptiveForecaster::best_index() const {
+  std::size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < battery_.size(); ++i) {
+    if (squared_error_[i] < best_err) {
+      best_err = squared_error_[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+double AdaptiveForecaster::predict() const {
+  if (battery_.empty()) return 0.0;
+  return battery_[best_index()]->predict();
+}
+
+const std::string& AdaptiveForecaster::best_member() const {
+  static const std::string kNone = "none";
+  if (battery_.empty()) return kNone;
+  return battery_[best_index()]->name();
+}
+
+std::vector<double> AdaptiveForecaster::member_errors() const {
+  std::vector<double> out(squared_error_.size());
+  const double n = n_ > 1 ? static_cast<double>(n_ - 1) : 1.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = squared_error_[i] / n;
+  }
+  return out;
+}
+
+}  // namespace esg::nws

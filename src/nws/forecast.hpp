@@ -1,0 +1,62 @@
+// Network Weather Service forecasting (paper §5; Wolski, HPDC'97).
+//
+// NWS keeps a history of measurements per resource and runs a battery of
+// simple predictors over it; at any instant the battery's *current best*
+// predictor — the one with the lowest cumulative squared error so far — is
+// used for the published forecast ("dynamic predictor selection").  This
+// module reproduces that scheme with the classic members: last value,
+// running mean, sliding-window mean and median, and exponential smoothing
+// at several gains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace esg::nws {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  /// Incorporate a new measurement.
+  virtual void observe(double value) = 0;
+  /// Predict the next measurement (0 before any observation).
+  virtual double predict() const = 0;
+  virtual const std::string& name() const = 0;
+};
+
+std::unique_ptr<Forecaster> make_last_value();
+std::unique_ptr<Forecaster> make_running_mean();
+std::unique_ptr<Forecaster> make_sliding_mean(std::size_t window);
+std::unique_ptr<Forecaster> make_sliding_median(std::size_t window);
+std::unique_ptr<Forecaster> make_exp_smoothing(double alpha);
+
+/// Dynamic predictor selection over a battery of forecasters.
+class AdaptiveForecaster : public Forecaster {
+ public:
+  /// Default battery mirrors the NWS paper's mix.
+  AdaptiveForecaster();
+  explicit AdaptiveForecaster(std::vector<std::unique_ptr<Forecaster>> battery);
+
+  void observe(double value) override;
+  double predict() const override;
+  const std::string& name() const override { return name_; }
+
+  /// Name of the member currently winning (lowest cumulative MSE).
+  const std::string& best_member() const;
+  /// Cumulative mean squared error of each member, index-aligned.
+  std::vector<double> member_errors() const;
+  std::size_t observations() const { return n_; }
+
+ private:
+  std::size_t best_index() const;
+
+  std::string name_ = "adaptive";
+  std::vector<std::unique_ptr<Forecaster>> battery_;
+  std::vector<double> squared_error_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace esg::nws

@@ -1,0 +1,134 @@
+#include "replica/manager.hpp"
+
+#include <algorithm>
+
+namespace esg::replica {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+
+ReplicaManager::ReplicaManager(ReplicaCatalog& catalog,
+                               gridftp::GridFtpClient& ftp)
+    : catalog_(catalog), ftp_(ftp) {}
+
+namespace {
+
+Result<LocationInfo> find_location(const std::vector<LocationInfo>& locations,
+                                   const std::string& name) {
+  for (const auto& loc : locations) {
+    if (loc.name == name) return loc;
+  }
+  return Error{Errc::not_found, "no such location: " + name};
+}
+
+}  // namespace
+
+void ReplicaManager::replicate_file(
+    const std::string& collection, const std::string& filename,
+    const std::string& from_location, const std::string& to_location,
+    const gridftp::TransferOptions& options,
+    std::function<void(ReplicateResult)> done) {
+  catalog_.list_locations(
+      collection,
+      [this, collection, filename, from_location, to_location, options,
+       done = std::move(done)](
+          Result<std::vector<LocationInfo>> locs) mutable {
+        if (!locs) return done(ReplicateResult{locs.error(), 0, 0});
+        auto from = find_location(*locs, from_location);
+        auto to = find_location(*locs, to_location);
+        if (!from) return done(ReplicateResult{from.error(), 0, 0});
+        if (!to) return done(ReplicateResult{to.error(), 0, 0});
+        if (std::find(from->files.begin(), from->files.end(), filename) ==
+            from->files.end()) {
+          return done(ReplicateResult{
+              Error{Errc::not_found,
+                    filename + " not present at " + from_location},
+              0, 0});
+        }
+        ftp_.third_party_copy(
+            from->url_for(filename), to->url_for(filename), options,
+            [this, collection, filename, to_location,
+             done = std::move(done)](gridftp::TransferResult r) mutable {
+              if (!r.status.ok()) {
+                return done(
+                    ReplicateResult{r.status, r.bytes_transferred, 0});
+              }
+              // Data landed: make it visible in the catalog.
+              catalog_.add_file_to_location(
+                  collection, to_location, filename,
+                  [bytes = r.bytes_transferred,
+                   done = std::move(done)](Status st) {
+                    done(ReplicateResult{st, bytes, st.ok() ? 1 : 0});
+                  });
+            });
+      });
+}
+
+// Sequential per-file state for a collection copy; keeps itself alive.
+struct ReplicaManager::CollectionJob
+    : std::enable_shared_from_this<CollectionJob> {
+  ReplicaManager* manager = nullptr;
+  std::string collection, from, to;
+  gridftp::TransferOptions options;
+  std::vector<std::string> pending;
+  ReplicateResult result;
+  std::function<void(ReplicateResult)> done;
+
+  void next() {
+    if (pending.empty()) {
+      return done(std::move(result));
+    }
+    const std::string file = pending.back();
+    pending.pop_back();
+    auto self = shared_from_this();
+    manager->replicate_file(
+        collection, file, from, to, options, [self](ReplicateResult r) {
+          self->result.bytes_copied += r.bytes_copied;
+          self->result.files_copied += r.files_copied;
+          if (!r.status.ok()) {
+            self->result.status = r.status;
+            return self->done(std::move(self->result));
+          }
+          self->next();
+        });
+  }
+};
+
+void ReplicaManager::replicate_collection(
+    const std::string& collection, const std::string& from_location,
+    const std::string& to_location, const gridftp::TransferOptions& options,
+    std::function<void(ReplicateResult)> done) {
+  catalog_.list_locations(
+      collection,
+      [this, collection, from_location, to_location, options,
+       done = std::move(done)](
+          Result<std::vector<LocationInfo>> locs) mutable {
+        if (!locs) return done(ReplicateResult{locs.error(), 0, 0});
+        auto from = find_location(*locs, from_location);
+        auto to = find_location(*locs, to_location);
+        if (!from) return done(ReplicateResult{from.error(), 0, 0});
+        if (!to) return done(ReplicateResult{to.error(), 0, 0});
+
+        auto job = std::make_shared<CollectionJob>();
+        job->manager = this;
+        job->collection = collection;
+        job->from = from_location;
+        job->to = to_location;
+        job->options = options;
+        job->done = std::move(done);
+        // Copy what the source has and the destination lacks, in a
+        // deterministic (reversed-lexical via pop_back) order.
+        for (const auto& f : from->files) {
+          if (std::find(to->files.begin(), to->files.end(), f) ==
+              to->files.end()) {
+            job->pending.push_back(f);
+          }
+        }
+        std::sort(job->pending.rbegin(), job->pending.rend());
+        job->next();
+      });
+}
+
+}  // namespace esg::replica

@@ -1,0 +1,51 @@
+// Replica management: the higher-level services the paper builds on the
+// catalog + GridFTP ("reliable creation of a copy of a large data collection
+// at a new location", §6.2).
+#pragma once
+
+#include <memory>
+
+#include "gridftp/client.hpp"
+#include "replica/catalog.hpp"
+
+namespace esg::replica {
+
+struct ReplicateResult {
+  common::Status status = common::ok_status();
+  common::Bytes bytes_copied = 0;
+  int files_copied = 0;
+};
+
+/// Copies files between registered locations (third-party GridFTP) and
+/// keeps the catalog consistent: the new replica is registered only after
+/// the data lands.
+class ReplicaManager {
+ public:
+  ReplicaManager(ReplicaCatalog& catalog, gridftp::GridFtpClient& ftp);
+
+  /// Copy one file of a collection from one location to another and
+  /// register the new replica.
+  void replicate_file(const std::string& collection,
+                      const std::string& filename,
+                      const std::string& from_location,
+                      const std::string& to_location,
+                      const gridftp::TransferOptions& options,
+                      std::function<void(ReplicateResult)> done);
+
+  /// Copy every file the source location holds that the destination lacks.
+  /// Files copy sequentially (reliable collection copy, not a bandwidth
+  /// race); the first failure stops the remainder.
+  void replicate_collection(const std::string& collection,
+                            const std::string& from_location,
+                            const std::string& to_location,
+                            const gridftp::TransferOptions& options,
+                            std::function<void(ReplicateResult)> done);
+
+ private:
+  struct CollectionJob;
+
+  ReplicaCatalog& catalog_;
+  gridftp::GridFtpClient& ftp_;
+};
+
+}  // namespace esg::replica

@@ -1,0 +1,285 @@
+#include "rm/request_manager.hpp"
+
+#include <algorithm>
+
+namespace esg::rm {
+
+using common::Bytes;
+using common::Errc;
+using common::Error;
+using common::Rate;
+using common::Result;
+using common::Status;
+
+RequestManager::RequestManager(rpc::Orb& orb, const net::Host& host,
+                               replica::ReplicaCatalog catalog,
+                               mds::MdsClient mds,
+                               gridftp::GridFtpClient& ftp,
+                               TransferMonitor* monitor)
+    : orb_(orb),
+      host_(host),
+      catalog_(std::move(catalog)),
+      mds_(std::move(mds)),
+      ftp_(ftp),
+      monitor_(monitor) {}
+
+// One submit(): owns the worker list and the completion barrier.
+struct RequestManager::Job : std::enable_shared_from_this<Job> {
+  RequestManager* rm = nullptr;
+  RequestOptions options;
+  std::vector<FileRequest> files;
+  std::vector<FileOutcome> outcomes;
+  std::function<void(RequestResult)> done;
+  std::size_t next_index = 0;
+  std::size_t running = 0;
+  std::size_t finished = 0;
+  common::SimTime started = 0;
+
+  void pump();
+  void worker_finished(std::size_t index, FileOutcome outcome);
+};
+
+// One file: the paper's per-file thread.
+struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
+  std::shared_ptr<Job> job;
+  std::size_t index = 0;
+  FileOutcome outcome;
+  std::vector<replica::Replica> replicas;   // sorted best-first
+  std::shared_ptr<gridftp::ReliableGet> fetch;
+  sim::EventHandle poller;
+  std::unique_ptr<hrm::HrmClient> hrm_client;
+  bool terminal = false;
+
+  RequestManager& rm() { return *job->rm; }
+  sim::Simulation& sim() { return rm().orb_.network().simulation(); }
+  TransferMonitor* monitor() { return rm().monitor_; }
+
+  void start() {
+    outcome.started = sim().now();
+    outcome.request = job->files[index];
+    outcome.local_name = job->options.local_path_prefix + "/" +
+                         outcome.request.filename;
+    if (!outcome.request.eret_module.empty()) {
+      // Server-side-processed fetches land under a distinct local name so
+      // they never alias a whole-file copy.
+      outcome.local_name += "#" + outcome.request.eret_module;
+    }
+    if (monitor()) {
+      monitor()->file_queued(outcome.request.filename, 0, sim().now());
+    }
+    // Step 0: logical file metadata (size, for the progress display).
+    auto self = shared_from_this();
+    rm().catalog_.lookup_logical_file(
+        outcome.request.collection, outcome.request.filename,
+        [self](Result<replica::LogicalFileInfo> info) {
+          if (info) {
+            self->outcome.size = info->size;
+            if (self->monitor()) {
+              self->monitor()->file_queued(self->outcome.request.filename,
+                                           info->size, self->sim().now());
+            }
+          }
+          self->find_replicas();
+        });
+  }
+
+  // Step 1: all replicas from the replica catalog.
+  void find_replicas() {
+    auto self = shared_from_this();
+    rm().catalog_.find_replicas(
+        outcome.request.collection, outcome.request.filename,
+        [self](Result<std::vector<replica::Replica>> r) {
+          if (!r) return self->finish(Status(r.error()));
+          self->replicas = std::move(*r);
+          self->rank_replicas();
+        });
+  }
+
+  // Step 2+3: NWS forecasts (via MDS) for every candidate, pick the best.
+  void rank_replicas() {
+    auto self = shared_from_this();
+    rm().mds_.query_paths_to(
+        rm().host_.name(),
+        [self](Result<std::vector<mds::NetworkRecord>> records) {
+          // Forecast per source host; unknown paths rank as zero.
+          std::map<std::string, const mds::NetworkRecord*> by_src;
+          if (records) {
+            for (const auto& rec : *records) by_src[rec.src_host] = &rec;
+          }
+          auto score = [&by_src](const replica::Replica& rep) -> Rate {
+            auto it = by_src.find(rep.location.hostname);
+            if (it == by_src.end()) return 0.0;
+            if (it->second->probe_failed) return -1.0;  // likely down
+            return it->second->bandwidth;
+          };
+          std::stable_sort(self->replicas.begin(), self->replicas.end(),
+                           [&score](const auto& a, const auto& b) {
+                             return score(a) > score(b);
+                           });
+          const auto& best = self->replicas.front();
+          self->outcome.chosen_location = best.location.name;
+          self->outcome.chosen_host = best.location.hostname;
+          self->outcome.forecast_bandwidth = std::max(0.0, score(best));
+          if (self->monitor()) {
+            self->monitor()->replica_selected(
+                self->outcome.request.filename, best.location.hostname,
+                self->outcome.forecast_bandwidth, self->sim().now());
+          }
+          self->maybe_stage();
+        });
+  }
+
+  // Step 4a: HRM staging when the chosen replica sits on tape.
+  void maybe_stage() {
+    const auto& best = replicas.front();
+    if (best.location.storage_type != "mss") return begin_transfer();
+    net::Host* hrm_host =
+        rm().orb_.network().find_host(best.location.hostname);
+    if (hrm_host == nullptr) {
+      return finish(Error{Errc::not_found,
+                          "unknown HRM host " + best.location.hostname});
+    }
+    outcome.staged_from_tape = true;
+    if (monitor()) {
+      monitor()->staging_started(outcome.request.filename,
+                                 best.location.hostname, sim().now());
+    }
+    hrm_client = std::make_unique<hrm::HrmClient>(rm().orb_, rm().host_,
+                                                  *hrm_host);
+    auto self = shared_from_this();
+    hrm_client->stage(
+        best.url.path,
+        [self](Result<Bytes> staged) {
+          if (!staged) return self->finish(Status(staged.error()));
+          self->begin_transfer();
+        },
+        job->options.stage_timeout);
+  }
+
+  // Step 4b: GridFTP get through the reliability plugin, alternates ready.
+  void begin_transfer() {
+    std::vector<gridftp::FtpUrl> urls;
+    urls.reserve(replicas.size());
+    for (const auto& rep : replicas) urls.push_back(rep.url);
+    if (monitor()) {
+      monitor()->transfer_started(outcome.request.filename,
+                                  outcome.chosen_host, sim().now());
+    }
+    gridftp::TransferOptions transfer = job->options.transfer;
+    if (!outcome.request.eret_module.empty()) {
+      transfer.eret_module = outcome.request.eret_module;
+      transfer.eret_params = outcome.request.eret_params;
+    }
+    auto self = shared_from_this();
+    fetch = gridftp::ReliableGet::start(
+        rm().ftp_, std::move(urls), outcome.local_name, transfer,
+        job->options.reliability, nullptr,
+        [self](gridftp::ReliableResult r) {
+          self->outcome.bytes = r.total_bytes;
+          self->outcome.attempts = r.attempts;
+          self->outcome.replica_switches = r.replica_switches;
+          self->finish(r.status);
+        });
+    arm_poller();
+  }
+
+  // Step 5: poll the local file size every few seconds (paper behaviour).
+  void arm_poller() {
+    auto self = shared_from_this();
+    poller = sim().schedule_every(job->options.poll_interval, [self] {
+      if (self->terminal) return false;
+      const Bytes size = self->rm().ftp_.local_storage()
+                             .size_of(self->outcome.local_name)
+                             .value_or(0);
+      if (self->monitor()) {
+        self->monitor()->progress(self->outcome.request.filename, size,
+                                  self->sim().now());
+      }
+      if (self->fetch && self->fetch->active() && self->monitor()) {
+        const std::string current = self->fetch->current_replica().host;
+        if (current != self->outcome.chosen_host) {
+          self->outcome.chosen_host = current;
+          self->monitor()->replica_switched(self->outcome.request.filename,
+                                            current, self->sim().now());
+        }
+      }
+      return true;
+    });
+  }
+
+  void finish(Status status) {
+    if (terminal) return;
+    terminal = true;
+    poller.cancel();
+    outcome.status = std::move(status);
+    outcome.finished = sim().now();
+    if (monitor()) {
+      if (outcome.status.ok()) {
+        monitor()->transfer_complete(outcome.request.filename, outcome.bytes,
+                                     sim().now());
+      } else {
+        monitor()->transfer_failed(outcome.request.filename,
+                                   outcome.status.error().to_string(),
+                                   sim().now());
+      }
+    }
+    // Release the HRM pin if we staged.
+    if (outcome.staged_from_tape && hrm_client && !replicas.empty()) {
+      hrm_client->release(replicas.front().url.path, [](Status) {});
+    }
+    job->worker_finished(index, std::move(outcome));
+  }
+};
+
+void RequestManager::Job::pump() {
+  while (running < options.max_concurrent && next_index < files.size()) {
+    auto worker = std::make_shared<Worker>();
+    worker->job = shared_from_this();
+    worker->index = next_index++;
+    ++running;
+    worker->start();
+  }
+}
+
+void RequestManager::Job::worker_finished(std::size_t index,
+                                          FileOutcome outcome) {
+  outcomes[index] = std::move(outcome);
+  --running;
+  ++finished;
+  if (finished == files.size()) {
+    RequestResult result;
+    result.files = std::move(outcomes);
+    result.started = started;
+    result.finished = rm->orb_.network().simulation().now();
+    for (const auto& f : result.files) {
+      result.total_bytes += f.bytes;
+      if (!f.status.ok() && result.status.ok()) result.status = f.status;
+    }
+    if (done) done(std::move(result));
+    return;
+  }
+  pump();
+}
+
+void RequestManager::submit(std::vector<FileRequest> files,
+                            RequestOptions options,
+                            std::function<void(RequestResult)> done) {
+  auto job = std::make_shared<Job>();
+  job->rm = this;
+  job->options = std::move(options);
+  job->files = std::move(files);
+  job->outcomes.resize(job->files.size());
+  job->done = std::move(done);
+  job->started = orb_.network().simulation().now();
+  if (job->files.empty()) {
+    orb_.network().simulation().schedule_after(0, [job] {
+      RequestResult r;
+      r.started = r.finished = job->started;
+      job->done(std::move(r));
+    });
+    return;
+  }
+  job->pump();
+}
+
+}  // namespace esg::rm

@@ -1,0 +1,53 @@
+// The request manager's remote interface (paper §4: "The CDAT system calls
+// the RM via a CORBA protocol that permits the specification of multiple
+// logical files").
+//
+// RequestManagerService exposes a running RequestManager as RPC service
+// "rm" with one method, REQUEST: a list of (collection, filename[, eret])
+// tuples plus transfer options; the reply carries the per-file outcomes.
+// Fetched data lands in the RM host's disk cache, from where a co-located
+// client (the deployment in Fig 1) reads it.
+#pragma once
+
+#include "rm/request_manager.hpp"
+
+namespace esg::rm {
+
+class RequestManagerService {
+ public:
+  RequestManagerService(rpc::Orb& orb, RequestManager& rm);
+  ~RequestManagerService();
+
+  static void encode_request(common::ByteWriter& w,
+                             const std::vector<FileRequest>& files,
+                             const RequestOptions& options);
+  static common::Result<RequestResult> decode_result(common::ByteReader& r);
+
+ private:
+  void handle(const std::string& method, rpc::Payload request,
+              rpc::Reply reply);
+
+  rpc::Orb& orb_;
+  RequestManager& rm_;
+};
+
+/// Remote caller: CDAT's side of the CORBA boundary.
+class RequestManagerClient {
+ public:
+  RequestManagerClient(rpc::Orb& orb, const net::Host& from,
+                       const net::Host& rm_host);
+
+  /// Submit a multi-file request to a remote RM; `timeout` must cover the
+  /// whole transfer.
+  void submit(const std::vector<FileRequest>& files,
+              const RequestOptions& options,
+              std::function<void(common::Result<RequestResult>)> done,
+              common::SimDuration timeout = 2 * common::kHour);
+
+ private:
+  rpc::Orb& orb_;
+  const net::Host& from_;
+  const net::Host& rm_;
+};
+
+}  // namespace esg::rm

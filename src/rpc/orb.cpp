@@ -1,0 +1,98 @@
+#include "rpc/orb.hpp"
+
+#include <utility>
+
+namespace esg::rpc {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+Orb::Orb(net::Network& network) : net_(network) {}
+
+void Orb::register_service(const net::Host& host, const std::string& service,
+                           Handler handler) {
+  services_[key(host, service)] = ServiceEntry{std::move(handler), false};
+}
+
+void Orb::unregister_service(const net::Host& host,
+                             const std::string& service) {
+  services_.erase(key(host, service));
+}
+
+void Orb::set_service_down(const net::Host& host, const std::string& service,
+                           bool down) {
+  auto it = services_.find(key(host, service));
+  if (it != services_.end()) it->second.down = down;
+}
+
+bool Orb::service_available(const net::Host& host,
+                            const std::string& service) const {
+  auto it = services_.find(key(host, service));
+  return it != services_.end() && !it->second.down && !host.down();
+}
+
+void Orb::call(const net::Host& from, const net::Host& to,
+               const std::string& service, const std::string& method,
+               Payload request, ResponseCallback on_reply,
+               common::SimDuration timeout) {
+  // `settled` makes the first of {reply, timeout} win; the loser is a no-op
+  // and the timeout event is cancelled so it cannot hold the event queue
+  // open after the call resolves.
+  auto settled = std::make_shared<bool>(false);
+  auto timeout_handle = std::make_shared<sim::EventHandle>();
+  auto deliver = std::make_shared<ResponseCallback>(std::move(on_reply));
+  auto finish = [settled, deliver, timeout_handle](Result<Payload> result) {
+    if (*settled) return;
+    *settled = true;
+    timeout_handle->cancel();
+    (*deliver)(std::move(result));
+  };
+
+  *timeout_handle =
+      net_.simulation().schedule_after(timeout, [finish, service, method] {
+        finish(Error{Errc::timed_out, service + "." + method + " timed out"});
+      });
+
+  const auto request_size =
+      static_cast<common::Bytes>(request.size()) + kEnvelopeBytes;
+  net_.send_message(
+      from, to, request_size,
+      [this, &from, &to, service, method, request = std::move(request),
+       finish](bool ok) mutable {
+        if (!ok) return;  // lost request; the timeout fires eventually
+        auto it = services_.find(key(to, service));
+        const net::Host* origin = &from;
+        const net::Host* server = &to;
+        if (it == services_.end()) {
+          // Unknown service: an ICMP-style refusal travels back promptly.
+          net_.send_message(*server, *origin, kEnvelopeBytes,
+                            [finish, service](bool back_ok) {
+                              if (!back_ok) return;
+                              finish(Error{Errc::unavailable,
+                                           "no such service: " + service});
+                            });
+          return;
+        }
+        if (it->second.down || server->down()) {
+          return;  // service hung: caller's timeout fires
+        }
+        // Dispatch.  The handler replies whenever it is ready.
+        it->second.handler(
+            method, std::move(request),
+            [this, origin, server, finish](Result<Payload> result) {
+              const common::Bytes size =
+                  (result.ok() ? static_cast<common::Bytes>(result->size())
+                               : 0) +
+                  kEnvelopeBytes;
+              net_.send_message(*server, *origin, size,
+                                [finish, result = std::move(result)](
+                                    bool back_ok) mutable {
+                                  if (!back_ok) return;
+                                  finish(std::move(result));
+                                });
+            });
+      });
+}
+
+}  // namespace esg::rpc

@@ -1,0 +1,81 @@
+// Minimal request/response RPC over the emulated network.
+//
+// Stands in for the paper's two wire protocols: the CORBA interface CDAT
+// uses to call the request manager, and the LDAP protocol in front of the
+// replica catalog, the metadata catalog, and MDS.  Only the semantics that
+// affect the experiments are modeled: messages pay path latency and
+// serialization time, calls into down hosts or stopped services time out,
+// and handlers may defer their reply (the HRM answers a stage request only
+// when the tape drive finishes).
+//
+// Payloads are flat byte vectors produced with common::ByteWriter; each
+// service defines its own method schemas on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytebuf.hpp"
+#include "common/result.hpp"
+#include "net/topology.hpp"
+
+namespace esg::rpc {
+
+using Payload = std::vector<std::uint8_t>;
+
+/// Handlers call `reply` exactly once, immediately or later.
+using Reply = std::function<void(common::Result<Payload>)>;
+using Handler =
+    std::function<void(const std::string& method, Payload request, Reply reply)>;
+
+using ResponseCallback = std::function<void(common::Result<Payload>)>;
+
+class Orb {
+ public:
+  explicit Orb(net::Network& network);
+
+  /// Register `service` on `host`.  One handler per (host, service).
+  void register_service(const net::Host& host, const std::string& service,
+                        Handler handler);
+
+  void unregister_service(const net::Host& host, const std::string& service);
+
+  /// Service-level failure injection ("DNS problems" in Figure 8 terms):
+  /// the host is reachable but this service stops answering.
+  void set_service_down(const net::Host& host, const std::string& service,
+                        bool down);
+
+  bool service_available(const net::Host& host,
+                         const std::string& service) const;
+
+  /// Invoke `service.method` on `to` from `from`.  `on_reply` fires exactly
+  /// once with the response payload, `unavailable` (no such service),
+  /// or `timed_out` (lost request, lost reply, or handler never answered
+  /// within `timeout`).
+  void call(const net::Host& from, const net::Host& to,
+            const std::string& service, const std::string& method,
+            Payload request, ResponseCallback on_reply,
+            common::SimDuration timeout = 30 * common::kSecond);
+
+  net::Network& network() { return net_; }
+
+ private:
+  struct ServiceEntry {
+    Handler handler;
+    bool down = false;
+  };
+
+  static std::string key(const net::Host& host, const std::string& service) {
+    return host.name() + "/" + service;
+  }
+
+  net::Network& net_;
+  std::map<std::string, ServiceEntry> services_;
+  static constexpr common::Bytes kEnvelopeBytes = 96;  // framing overhead
+};
+
+}  // namespace esg::rpc

@@ -1,0 +1,170 @@
+#include "security/gsi.hpp"
+
+#include <cassert>
+
+#include "common/bytebuf.hpp"
+#include "common/strings.hpp"
+
+namespace esg::security {
+
+using common::Errc;
+using common::Error;
+using common::fnv1a64;
+using common::Result;
+using common::Status;
+
+std::string Certificate::signed_payload() const {
+  return subject + "|" + issuer + "|" + std::to_string(not_before) + "|" +
+         std::to_string(not_after) + "|" + std::to_string(public_tag) + "|" +
+         (is_proxy ? "proxy" : "ee");
+}
+
+namespace {
+
+std::uint64_t keyed_tag(const std::string& payload, std::uint64_t key) {
+  return fnv1a64(payload) ^ (key * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+Credential Credential::delegate(SimTime now, SimDuration lifetime) const {
+  Credential proxy;
+  proxy.cert.subject = cert.subject + "/CN=proxy";
+  proxy.cert.issuer = cert.subject;
+  proxy.cert.not_before = now;
+  proxy.cert.not_after = std::min(now + lifetime, cert.not_after);
+  proxy.cert.is_proxy = true;
+  // Derive the proxy keypair deterministically from the parent's key and
+  // the validity window (good enough for an emulator's uniqueness needs).
+  proxy.private_tag = fnv1a64(proxy.cert.subject) ^ private_tag ^
+                      static_cast<std::uint64_t>(now);
+  proxy.cert.public_tag = proxy.private_tag * 0x100000001b3ULL;
+  // Proxies are signed with the *parent's* key (GSI's impersonation chain).
+  proxy.cert.signature = keyed_tag(proxy.cert.signed_payload(), private_tag);
+  return proxy;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           std::uint64_t secret)
+    : name_(std::move(name)), secret_(secret) {}
+
+std::uint64_t CertificateAuthority::sign(const Certificate& cert) const {
+  return keyed_tag(cert.signed_payload(), secret_);
+}
+
+Credential CertificateAuthority::issue(const std::string& subject, SimTime now,
+                                       SimDuration lifetime) const {
+  Credential cred;
+  cred.cert.subject = subject;
+  cred.cert.issuer = name_;
+  cred.cert.not_before = now;
+  cred.cert.not_after = now + lifetime;
+  cred.private_tag = fnv1a64(subject) ^ secret_;
+  cred.cert.public_tag = cred.private_tag * 0x100000001b3ULL;
+  cred.cert.signature = sign(cred.cert);
+  return cred;
+}
+
+Status CertificateAuthority::verify_chain(
+    const std::vector<Certificate>& chain, SimTime now) const {
+  if (chain.empty()) return Error{Errc::auth_failed, "empty chain"};
+
+  // The last element must be a CA-issued end-entity certificate.
+  const Certificate& root = chain.back();
+  if (root.is_proxy) {
+    return Error{Errc::auth_failed, "chain does not end at an identity cert"};
+  }
+  if (root.issuer != name_) {
+    return Error{Errc::auth_failed, "unknown issuer: " + root.issuer};
+  }
+  if (root.signature != sign(root)) {
+    return Error{Errc::auth_failed, "bad CA signature on " + root.subject};
+  }
+
+  // Walk proxies from the identity outwards, verifying linkage + windows.
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const Certificate& cert = chain[i];
+    if (now < cert.not_before || now >= cert.not_after) {
+      return Error{Errc::auth_failed, "certificate expired: " + cert.subject};
+    }
+    if (i + 1 < chain.size()) {
+      const Certificate& signer = chain[i + 1];
+      if (!cert.is_proxy) {
+        return Error{Errc::auth_failed,
+                     "non-proxy " + cert.subject + " inside chain"};
+      }
+      if (cert.issuer != signer.subject) {
+        return Error{Errc::auth_failed,
+                     "broken chain at " + cert.subject};
+      }
+      if (cert.not_after > signer.not_after) {
+        return Error{Errc::auth_failed,
+                     "proxy outlives signer: " + cert.subject};
+      }
+      // Proxies are verifiable with the signer's private key; the emulator
+      // reconstructs it from the public tag (toy relation, see header note).
+      const std::uint64_t signer_private =
+          signer.public_tag * 0xce965057aff6957bULL;  // 0x100000001b3^-1 mod 2^64
+      if (cert.signature !=
+          keyed_tag(cert.signed_payload(), signer_private)) {
+        return Error{Errc::auth_failed,
+                     "bad proxy signature on " + cert.subject};
+      }
+    }
+  }
+  return common::ok_status();
+}
+
+void CredentialWallet::set_identity(Credential credential) {
+  chain_.clear();
+  chain_.push_back(std::move(credential));
+}
+
+const Credential& CredentialWallet::push_proxy(SimTime now,
+                                               SimDuration lifetime) {
+  assert(!chain_.empty());
+  chain_.push_back(chain_.back().delegate(now, lifetime));
+  return chain_.back();
+}
+
+std::vector<Certificate> CredentialWallet::chain() const {
+  // Ordered [active, ..., identity] as verify_chain expects.
+  std::vector<Certificate> out;
+  out.reserve(chain_.size());
+  for (std::size_t i = chain_.size(); i-- > 0;) out.push_back(chain_[i].cert);
+  return out;
+}
+
+const Credential& CredentialWallet::active() const {
+  assert(!chain_.empty());
+  return chain_.back();
+}
+
+void GridMapFile::add(const std::string& subject,
+                      const std::string& local_user) {
+  entries_.emplace_back(subject, local_user);
+}
+
+std::string GridMapFile::base_subject(const std::string& subject) {
+  std::string base = subject;
+  const std::string marker = "/CN=proxy";
+  while (common::ends_with(base, marker)) {
+    base.resize(base.size() - marker.size());
+  }
+  return base;
+}
+
+Result<std::string> GridMapFile::map(const std::string& subject) const {
+  const std::string base = base_subject(subject);
+  for (const auto& [dn, user] : entries_) {
+    if (dn == base) return user;
+  }
+  return Error{Errc::permission_denied, "no grid-mapfile entry for " + base};
+}
+
+SimDuration handshake_cost(SimDuration rtt, bool delegate_proxy) {
+  const int rounds = kAuthRounds + (delegate_proxy ? kDelegationRounds : 0);
+  return rounds * rtt;
+}
+
+}  // namespace esg::security

@@ -1,0 +1,116 @@
+// Toy Grid Security Infrastructure (GSI).
+//
+// GridFTP in the paper authenticates every control and data channel with
+// GSI: X.509 certificates, proxy delegation, and a grid-mapfile mapping
+// distinguished names to local accounts.  Two aspects of GSI matter for the
+// reproduction:
+//
+//  1. the *logic* — certificate chains, proxy delegation, expiry, and
+//     mapfile authorization, all reproduced here faithfully; and
+//  2. the *cost* — a GSI handshake spends several round trips, which is a
+//     large part of why rebuilding data channels between consecutive
+//     transfers produced the bandwidth dips in Figure 8 (and why data
+//     channel caching, which skips re-authentication, was added afterward).
+//
+// SECURITY NOTE: signatures here are keyed FNV-1a tags, NOT cryptography.
+// This is an emulator of protocol structure and cost, never of secrecy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace esg::security {
+
+using common::SimDuration;
+using common::SimTime;
+
+struct Certificate {
+  std::string subject;       // e.g. "/O=Grid/OU=esg/CN=rm/lbnl.gov"
+  std::string issuer;        // CA name or delegating subject for proxies
+  SimTime not_before = 0;
+  SimTime not_after = 0;
+  std::uint64_t public_tag = 0;  // stands in for the public key
+  std::uint64_t signature = 0;   // keyed tag over the fields above
+  bool is_proxy = false;
+
+  /// The byte string covered by the signature.
+  std::string signed_payload() const;
+};
+
+/// A certificate plus its "private key" tag.  Held by the entity it names.
+struct Credential {
+  Certificate cert;
+  std::uint64_t private_tag = 0;
+
+  /// Delegate a proxy credential (subject gains a "/CN=proxy" component),
+  /// valid for `lifetime` starting at `now`, never outliving the parent.
+  Credential delegate(SimTime now, SimDuration lifetime) const;
+};
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string name, std::uint64_t secret = 0x5343'2001);
+
+  const std::string& name() const { return name_; }
+
+  /// Issue an end-entity credential for `subject`.
+  Credential issue(const std::string& subject, SimTime now,
+                   SimDuration lifetime) const;
+
+  /// Verify a chain ordered [end-entity or proxy, ..., CA-issued root cert].
+  /// Checks signatures, issuer linkage, validity windows at `now`, and that
+  /// proxies never outlive their signer.
+  common::Status verify_chain(const std::vector<Certificate>& chain,
+                              SimTime now) const;
+
+ private:
+  std::uint64_t sign(const Certificate& cert) const;
+
+  std::string name_;
+  std::uint64_t secret_;
+};
+
+/// Builds the chain for a credential (proxy chains remember their ancestry).
+class CredentialWallet {
+ public:
+  /// Store an identity credential issued directly by the CA.
+  void set_identity(Credential credential);
+  /// Create (and remember) a proxy for the current end of the chain.
+  const Credential& push_proxy(SimTime now, SimDuration lifetime);
+
+  /// Chain from the active credential back to the CA-issued certificate.
+  std::vector<Certificate> chain() const;
+  const Credential& active() const;
+  bool has_identity() const { return !chain_.empty(); }
+
+ private:
+  std::vector<Credential> chain_;  // [identity, proxy, proxy-of-proxy, ...]
+};
+
+/// grid-mapfile: authorizes distinguished names onto local accounts.
+class GridMapFile {
+ public:
+  void add(const std::string& subject, const std::string& local_user);
+  /// Proxies are authorized through the subject they extend.
+  common::Result<std::string> map(const std::string& subject) const;
+
+  /// Strip proxy components to recover the identity subject.
+  static std::string base_subject(const std::string& subject);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Handshake cost model: mutual authentication spends `kAuthRounds` round
+/// trips; delegating a proxy to the server adds one more.
+inline constexpr int kAuthRounds = 2;
+inline constexpr int kDelegationRounds = 1;
+
+SimDuration handshake_cost(SimDuration rtt, bool delegate_proxy);
+
+}  // namespace esg::security

@@ -1,0 +1,54 @@
+#include "sim/failure.hpp"
+
+#include <map>
+#include <memory>
+
+namespace esg::sim {
+
+FailureSchedule& FailureSchedule::add(Outage outage) {
+  outages_.push_back(std::move(outage));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::add(std::string target, SimTime start,
+                                      SimDuration duration,
+                                      std::string description) {
+  return add(Outage{std::move(target), start, duration, std::move(description)});
+}
+
+void FailureSchedule::arm(
+    Simulation& simulation,
+    std::function<void(const std::string&, bool, const std::string&)> set_down)
+    const {
+  // Shared depth counters implement overlap reference counting per target.
+  auto depth = std::make_shared<std::map<std::string, int>>();
+  auto toggle = std::make_shared<
+      std::function<void(const std::string&, bool, const std::string&)>>(
+      std::move(set_down));
+  for (const auto& outage : outages_) {
+    simulation.schedule_at(
+        outage.start, [depth, toggle, outage] {
+          if (++(*depth)[outage.target] == 1) {
+            (*toggle)(outage.target, true, outage.description);
+          }
+        });
+    simulation.schedule_at(
+        outage.start + outage.duration, [depth, toggle, outage] {
+          if (--(*depth)[outage.target] == 0) {
+            (*toggle)(outage.target, false, outage.description);
+          }
+        });
+  }
+}
+
+bool FailureSchedule::is_down(const std::string& target, SimTime t) const {
+  for (const auto& outage : outages_) {
+    if (outage.target == target && t >= outage.start &&
+        t < outage.start + outage.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esg::sim

@@ -1,0 +1,52 @@
+// Failure injection.
+//
+// Figure 8 of the paper shows a 14-hour run punctuated by real outages — a
+// SCinet power failure, DNS problems, and exhibit-floor backbone problems —
+// with GridFTP restarting interrupted transfers when connectivity returned.
+// A FailureSchedule scripts such outages deterministically: each Outage
+// names a target (a network resource or a service), a start time, and a
+// duration.  The schedule is applied to a Simulation by arming two events
+// per outage that call a user-supplied toggle.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace esg::sim {
+
+struct Outage {
+  std::string target;       // resource or service name to take down
+  SimTime start = 0;        // when the outage begins
+  SimDuration duration = 0; // how long it lasts
+  std::string description;  // e.g. "SCinet power failure"
+};
+
+class FailureSchedule {
+ public:
+  FailureSchedule& add(Outage outage);
+
+  FailureSchedule& add(std::string target, SimTime start, SimDuration duration,
+                       std::string description = {});
+
+  const std::vector<Outage>& outages() const { return outages_; }
+
+  /// Arm every outage on `simulation`.  `set_down(target, down, description)`
+  /// is invoked at each transition.  Outages whose intervals overlap on the
+  /// same target are reference-counted so the target only comes back up when
+  /// the last overlapping outage ends.
+  void arm(Simulation& simulation,
+           std::function<void(const std::string& target, bool down,
+                              const std::string& description)>
+               set_down) const;
+
+  /// True if any scheduled outage covers `target` at time `t`.
+  bool is_down(const std::string& target, SimTime t) const;
+
+ private:
+  std::vector<Outage> outages_;
+};
+
+}  // namespace esg::sim

@@ -1,0 +1,83 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace esg::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulation::schedule_every(SimDuration period,
+                                       std::function<bool()> fn) {
+  assert(period > 0);
+  // The outer handle's flag is shared with every rescheduled instance so a
+  // single cancel() stops the series.
+  auto alive = std::make_shared<bool>(true);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+    if (!*alive) return;
+    if (!fn()) {
+      *alive = false;
+      return;
+    }
+    queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
+  };
+  queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard idiom
+    // given we pop immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.alive && !*ev.alive) continue;  // cancelled
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Peek next live event time.
+    if (queue_.top().alive && !*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+bool Simulation::run_while_pending(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (step()) {
+    if (pred()) return true;
+  }
+  return false;
+}
+
+common::Logger Simulation::make_logger(std::string component) {
+  common::Logger log(std::move(component));
+  log.bind_clock([this] { return now_; });
+  return log;
+}
+
+}  // namespace esg::sim

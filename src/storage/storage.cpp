@@ -1,0 +1,175 @@
+#include "storage/storage.hpp"
+
+#include <algorithm>
+
+namespace esg::storage {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+using common::Status;
+
+Status HostStorage::put(FileObject file) {
+  auto it = files_.find(file.name);
+  const Bytes delta = file.size - (it == files_.end() ? 0 : it->second.size);
+  if (used_ + delta > capacity_) {
+    return Error{Errc::out_of_space,
+                 "storage full writing " + file.name};
+  }
+  used_ += delta;
+  files_[file.name] = std::move(file);
+  return common::ok_status();
+}
+
+Result<FileObject> HostStorage::get(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "no file: " + name};
+  }
+  return it->second;
+}
+
+Result<Bytes> HostStorage::size_of(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "no file: " + name};
+  }
+  return it->second.size;
+}
+
+Status HostStorage::remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "no file: " + name};
+  }
+  used_ -= it->second.size;
+  files_.erase(it);
+  return common::ok_status();
+}
+
+Status HostStorage::resize(const std::string& name, Bytes new_size) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "no file: " + name};
+  }
+  const Bytes delta = new_size - it->second.size;
+  if (used_ + delta > capacity_) {
+    return Error{Errc::out_of_space, "storage full resizing " + name};
+  }
+  used_ += delta;
+  it->second.size = new_size;
+  return common::ok_status();
+}
+
+std::vector<std::string> HostStorage::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
+}
+
+// ---------------- DiskCache ----------------
+
+bool DiskCache::make_room(Bytes needed) {
+  if (needed > capacity_) return false;
+  while (used_ + needed > capacity_) {
+    // Evict the least recently used unpinned entry.
+    auto victim = files_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto f = files_.find(*it);
+      if (f != files_.end() && f->second.pins == 0) {
+        victim = f;
+        break;
+      }
+    }
+    if (victim == files_.end()) return false;  // everything pinned
+    used_ -= victim->second.file.size;
+    lru_.erase(victim->second.lru_pos);
+    storage::FileObject evicted = std::move(victim->second.file);
+    files_.erase(victim);
+    ++evictions_;
+    if (eviction_hook_) eviction_hook_(evicted);
+  }
+  return true;
+}
+
+Status DiskCache::put(FileObject file) {
+  auto it = files_.find(file.name);
+  if (it != files_.end()) {
+    // Refresh in place.  Shield the entry being updated from eviction
+    // while making room, or make_room could invalidate `it`.
+    const Bytes delta = file.size - it->second.file.size;
+    if (delta > 0) {
+      ++it->second.pins;
+      const bool fits = make_room(delta);
+      --it->second.pins;
+      if (!fits) {
+        return Error{Errc::out_of_space, "cache full updating " + file.name};
+      }
+    }
+    used_ += delta;
+    it->second.file = std::move(file);
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(it->first);
+    it->second.lru_pos = lru_.begin();
+    return common::ok_status();
+  }
+  if (!make_room(file.size)) {
+    return Error{Errc::out_of_space, "cache full inserting " + file.name};
+  }
+  used_ += file.size;
+  lru_.push_front(file.name);
+  Slot slot{std::move(file), 0, lru_.begin()};
+  files_.emplace(lru_.front(), std::move(slot));
+  return common::ok_status();
+}
+
+Result<FileObject> DiskCache::get(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(name);
+  it->second.lru_pos = lru_.begin();
+  return it->second.file;
+}
+
+Status DiskCache::pin(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  ++it->second.pins;
+  return common::ok_status();
+}
+
+Status DiskCache::unpin(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  it->second.pins = std::max(0, it->second.pins - 1);
+  return common::ok_status();
+}
+
+int DiskCache::pin_count(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.pins;
+}
+
+Status DiskCache::remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "not cached: " + name};
+  }
+  if (it->second.pins > 0) {
+    return Error{Errc::permission_denied, "file pinned: " + name};
+  }
+  used_ -= it->second.file.size;
+  lru_.erase(it->second.lru_pos);
+  files_.erase(it);
+  return common::ok_status();
+}
+
+}  // namespace esg::storage

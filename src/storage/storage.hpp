@@ -1,0 +1,118 @@
+// Host storage namespaces and disk caches.
+//
+// Files in the emulator are (name, size, optional real content).  Transfer
+// timing is governed entirely by the fluid network (the host's disk
+// resource is part of every data path), so content bytes never traverse the
+// emulated wire — they are attached to the destination file object when a
+// transfer completes, which is how the climate examples end up reading real
+// ncx bytes after a simulated GridFTP fetch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace esg::storage {
+
+using common::Bytes;
+
+struct FileObject {
+  std::string name;  // path within the host namespace
+  Bytes size = 0;
+  /// Real bytes, when the experiment cares about content (ncx datasets).
+  std::shared_ptr<const std::vector<std::uint8_t>> content;
+
+  static FileObject synthetic(std::string name, Bytes size) {
+    return FileObject{std::move(name), size, nullptr};
+  }
+  static FileObject with_content(
+      std::string name, std::shared_ptr<const std::vector<std::uint8_t>> data) {
+    const Bytes size = static_cast<Bytes>(data->size());
+    return FileObject{std::move(name), size, std::move(data)};
+  }
+};
+
+/// Flat per-host file namespace with a capacity budget.
+class HostStorage {
+ public:
+  explicit HostStorage(Bytes capacity = 1000 * common::kGB)
+      : capacity_(capacity) {}
+
+  common::Status put(FileObject file);
+  common::Result<FileObject> get(const std::string& name) const;
+  bool exists(const std::string& name) const { return files_.count(name) > 0; }
+  common::Result<Bytes> size_of(const std::string& name) const;
+  common::Status remove(const std::string& name);
+
+  /// Grow a file in place (used to track partial transfer arrivals so the
+  /// request manager's size-polling monitor sees real progress).
+  common::Status resize(const std::string& name, Bytes new_size);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  std::size_t file_count() const { return files_.size(); }
+  std::vector<std::string> list() const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::map<std::string, FileObject> files_;
+};
+
+/// LRU disk cache with pinning — the staging area HRM manages in front of
+/// the tape system, and the destination cache at client sites.
+class DiskCache {
+ public:
+  explicit DiskCache(Bytes capacity) : capacity_(capacity) {}
+
+  /// Insert a file, evicting unpinned LRU entries to make room.
+  common::Status put(FileObject file);
+
+  bool contains(const std::string& name) const { return files_.count(name) > 0; }
+
+  /// Fetch and mark recently used.
+  common::Result<FileObject> get(const std::string& name);
+
+  /// Pin/unpin: pinned files cannot be evicted (a transfer is reading them).
+  common::Status pin(const std::string& name);
+  common::Status unpin(const std::string& name);
+  int pin_count(const std::string& name) const;
+
+  common::Status remove(const std::string& name);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Invoked with each file as it is evicted — lets the HRM mirror cache
+  /// state into the GridFTP-served namespace.
+  void set_eviction_hook(std::function<void(const FileObject&)> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Slot {
+    FileObject file;
+    int pins = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  bool make_room(Bytes needed);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::map<std::string, Slot> files_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::function<void(const FileObject&)> eviction_hook_;
+};
+
+}  // namespace esg::storage

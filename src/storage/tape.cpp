@@ -1,0 +1,102 @@
+#include "storage/tape.hpp"
+
+#include <cassert>
+
+namespace esg::storage {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+TapeLibrary::TapeLibrary(sim::Simulation& simulation, TapeConfig config)
+    : sim_(simulation), config_(config) {
+  assert(config_.drives >= 1);
+  drive_mounted_.assign(static_cast<std::size_t>(config_.drives), "");
+  drive_busy_.assign(static_cast<std::size_t>(config_.drives), false);
+}
+
+void TapeLibrary::store(FileObject file) {
+  if (files_on_current_cartridge_ >= config_.files_per_cartridge) {
+    ++next_cartridge_seq_;
+    files_on_current_cartridge_ = 0;
+  }
+  ++files_on_current_cartridge_;
+  store_on(std::move(file), "cart-" + std::to_string(next_cartridge_seq_));
+}
+
+void TapeLibrary::store_on(FileObject file, const std::string& cartridge) {
+  const std::string name = file.name;
+  files_[name] = ArchivedFile{std::move(file), cartridge};
+}
+
+Result<Bytes> TapeLibrary::size_of(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{Errc::not_found, "not archived: " + name};
+  }
+  return it->second.file.size;
+}
+
+SimDuration TapeLibrary::stage_cost(Bytes size, bool needs_mount) const {
+  const auto read = static_cast<SimDuration>(
+      static_cast<double>(size) / config_.read_rate *
+      static_cast<double>(common::kSecond));
+  return (needs_mount ? config_.mount_time : 0) + config_.avg_seek + read;
+}
+
+void TapeLibrary::stage(const std::string& name,
+                        std::function<void(Result<FileObject>)> done) {
+  if (!files_.count(name)) {
+    // Report asynchronously for uniform caller behaviour.
+    sim_.schedule_after(common::kMillisecond,
+                        [name, done = std::move(done)] {
+                          done(Error{Errc::not_found, "not archived: " + name});
+                        });
+    return;
+  }
+  queue_.push_back(Request{name, std::move(done)});
+  pump();
+}
+
+void TapeLibrary::pump() {
+  while (!queue_.empty()) {
+    // Prefer a drive that already has the right cartridge mounted, then any
+    // idle drive.
+    const auto& req = queue_.front();
+    const std::string& cartridge = files_.at(req.name).cartridge;
+    int chosen = -1;
+    for (int d = 0; d < config_.drives; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (drive_busy_[ud]) continue;
+      if (drive_mounted_[ud] == cartridge) {
+        chosen = d;
+        break;
+      }
+      if (chosen < 0) chosen = d;
+    }
+    if (chosen < 0) return;  // all drives busy; pump() re-runs on completion
+
+    const auto ud = static_cast<std::size_t>(chosen);
+    const bool needs_mount = drive_mounted_[ud] != cartridge;
+    if (needs_mount) {
+      drive_mounted_[ud] = cartridge;
+      ++mounts_;
+    }
+    drive_busy_[ud] = true;
+    ++busy_drives_;
+
+    Request r = std::move(queue_.front());
+    queue_.pop_front();
+    const SimDuration cost =
+        stage_cost(files_.at(r.name).file.size, needs_mount);
+    sim_.schedule_after(cost, [this, ud, r = std::move(r)] {
+      drive_busy_[ud] = false;
+      --busy_drives_;
+      ++stages_completed_;
+      r.done(files_.at(r.name).file);
+      pump();
+    });
+  }
+}
+
+}  // namespace esg::storage

@@ -1,0 +1,87 @@
+// Tape library model — the mass-storage system (HPSS at LBNL in the paper)
+// that HRM fronts.
+//
+// Files live on cartridges; a fixed set of drives serves staging requests.
+// Staging a file costs: queueing for a drive, a cartridge mount (skipped if
+// that cartridge is already mounted on the chosen drive), a seek, and the
+// read at tape bandwidth.  These latencies are what the HRM's disk cache
+// and its overlap of staging with WAN transfer are designed to hide.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/simulation.hpp"
+#include "storage/storage.hpp"
+
+namespace esg::storage {
+
+using common::SimDuration;
+
+struct TapeConfig {
+  int drives = 2;
+  SimDuration mount_time = 45 * common::kSecond;
+  SimDuration avg_seek = 20 * common::kSecond;
+  common::Rate read_rate = common::mbps(120);  // ~15 MB/s tape drive
+  /// Files per cartridge when auto-assigning.
+  int files_per_cartridge = 8;
+};
+
+class TapeLibrary {
+ public:
+  TapeLibrary(sim::Simulation& simulation, TapeConfig config);
+
+  /// Register a file in the archive; cartridge auto-assigned round-robin.
+  void store(FileObject file);
+  /// Register a file on a named cartridge.
+  void store_on(FileObject file, const std::string& cartridge);
+
+  bool contains(const std::string& name) const { return files_.count(name) > 0; }
+  common::Result<Bytes> size_of(const std::string& name) const;
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Queue a staging request.  `done` fires with the file (or not_found)
+  /// once a drive has read it off tape.
+  void stage(const std::string& name,
+             std::function<void(common::Result<FileObject>)> done);
+
+  /// Requests currently waiting for a drive.
+  std::size_t queue_depth() const { return queue_.size(); }
+  int busy_drives() const { return busy_drives_; }
+  std::uint64_t mounts() const { return mounts_; }
+  std::uint64_t stages_completed() const { return stages_completed_; }
+
+  /// Pure timing model (exposed for tests): cost to stage `size` bytes,
+  /// given whether the cartridge must first be mounted.
+  SimDuration stage_cost(Bytes size, bool needs_mount) const;
+
+ private:
+  struct Request {
+    std::string name;
+    std::function<void(common::Result<FileObject>)> done;
+  };
+  struct ArchivedFile {
+    FileObject file;
+    std::string cartridge;
+  };
+
+  void pump();  // dispatch queued requests to idle drives
+
+  sim::Simulation& sim_;
+  TapeConfig config_;
+  std::map<std::string, ArchivedFile> files_;
+  std::deque<Request> queue_;
+  std::vector<std::string> drive_mounted_;  // cartridge per drive ("" = none)
+  std::vector<bool> drive_busy_;
+  int busy_drives_ = 0;
+  int next_cartridge_seq_ = 0;
+  int files_on_current_cartridge_ = 0;
+  std::uint64_t mounts_ = 0;
+  std::uint64_t stages_completed_ = 0;
+};
+
+}  // namespace esg::storage

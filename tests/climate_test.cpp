@@ -1,0 +1,334 @@
+// Tests for the synthetic climate model, analysis operators, and renderers.
+#include <gtest/gtest.h>
+
+#include "climate/analysis.hpp"
+#include "climate/model.hpp"
+#include "climate/render.hpp"
+#include "ncformat/ncx.hpp"
+
+namespace cl = esg::climate;
+namespace ec = esg::common;
+
+namespace {
+
+cl::ClimateModel small_model() {
+  return cl::ClimateModel(cl::ModelConfig{cl::GridSpec{18, 36}, 7, 1995});
+}
+
+}  // namespace
+
+TEST(GridSpec, CoordinatesAndCells) {
+  cl::GridSpec g{36, 72};
+  EXPECT_DOUBLE_EQ(g.lat(0), -87.5);
+  EXPECT_DOUBLE_EQ(g.lat(35), 87.5);
+  EXPECT_DOUBLE_EQ(g.lon(0), 2.5);
+  EXPECT_EQ(g.cells(), 2592u);
+}
+
+TEST(Model, DeterministicAcrossInstances) {
+  auto a = small_model().generate("temperature", 12, 2);
+  auto b = small_model().generate("temperature", 12, 2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Model, ChunkGenerationIsPositionIndependent) {
+  // Generating month 13 inside a 12-month chunk equals generating it alone
+  // — replicas sliced differently must agree.
+  auto model = small_model();
+  auto chunk = model.generate("temperature", 12, 3);
+  auto solo = model.generate("temperature", 13, 1);
+  const auto& g = model.config().grid;
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      EXPECT_DOUBLE_EQ(chunk.at(1, i, j), solo.at(0, i, j));
+    }
+  }
+}
+
+TEST(Model, TemperatureColderAtPoles) {
+  auto model = small_model();
+  auto field = model.generate("temperature", 0, 12);
+  auto mean = cl::time_mean(field);
+  const auto& g = model.config().grid;
+  double tropics = 0.0, poles = 0.0;
+  int nt = 0, np = 0;
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      if (std::abs(g.lat(i)) < 15) {
+        tropics += mean.at(0, i, j);
+        ++nt;
+      } else if (std::abs(g.lat(i)) > 70) {
+        poles += mean.at(0, i, j);
+        ++np;
+      }
+    }
+  }
+  EXPECT_GT(tropics / nt, poles / np + 20.0);
+}
+
+TEST(Model, SeasonalCycleFlipsHemisphere) {
+  auto model = small_model();
+  // January (month 0) vs July (month 6), away from noise via zonal means.
+  auto jan = cl::zonal_mean(model.generate("temperature", 0, 1));
+  auto jul = cl::zonal_mean(model.generate("temperature", 6, 1));
+  const auto& g = model.config().grid;
+  // Northern mid-latitudes: July warmer than January.
+  int i_north = g.nlat - 4;
+  EXPECT_GT(jul.at(0, i_north, 0), jan.at(0, i_north, 0));
+  // Southern mid-latitudes: the opposite.
+  int i_south = 3;
+  EXPECT_LT(jul.at(0, i_south, 0), jan.at(0, i_south, 0));
+}
+
+TEST(Model, PrecipitationNonNegativeAndWetTropics) {
+  auto model = small_model();
+  auto field = model.generate("precipitation", 0, 6);
+  for (double v : field.data()) EXPECT_GE(v, 0.0);
+  auto mean = cl::time_mean(field);
+  const auto& g = model.config().grid;
+  double itcz = 0.0, subtrop = 0.0;
+  int ni = 0, ns = 0;
+  for (int i = 0; i < g.nlat; ++i) {
+    for (int j = 0; j < g.nlon; ++j) {
+      if (std::abs(g.lat(i)) < 8) {
+        itcz += mean.at(0, i, j);
+        ++ni;
+      } else if (std::abs(std::abs(g.lat(i)) - 25) < 5) {
+        subtrop += mean.at(0, i, j);
+        ++ns;
+      }
+    }
+  }
+  EXPECT_GT(itcz / ni, subtrop / ns);
+}
+
+TEST(Model, CloudFractionBounded) {
+  auto field = small_model().generate("cloud_fraction", 0, 12);
+  for (double v : field.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Model, ChunkFileContainsAllVariables) {
+  auto model = small_model();
+  auto bytes = model.write_chunk(12, 6);
+  auto reader = esg::ncformat::NcxReader::open(bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->dimension_size("time").value_or(0), 6u);
+  for (const auto& v :
+       {"lat", "lon", "time", "temperature", "precipitation",
+        "cloud_fraction"}) {
+    EXPECT_TRUE(reader->variable(v).ok()) << v;
+  }
+  EXPECT_EQ(reader->global_attrs().at("month0"), "12");
+  // Chunk data matches direct generation.
+  auto direct = model.generate("temperature", 12, 6);
+  auto stored = reader->read("temperature");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(stored->size(), direct.data().size());
+  for (std::size_t k = 0; k < stored->size(); ++k) {
+    EXPECT_NEAR((*stored)[k], direct.data()[k], 1e-4);  // f32 rounding
+  }
+}
+
+// ---------- analysis ----------
+
+TEST(Analysis, TimeMeanOfConstantIsConstant) {
+  cl::Field f(cl::GridSpec{4, 8}, 5, "x");
+  for (auto& v : f.data()) v = 3.5;
+  auto mean = cl::time_mean(f);
+  EXPECT_EQ(mean.ntime(), 1);
+  for (double v : mean.data()) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Analysis, AnomalySumsToZero) {
+  auto field = small_model().generate("temperature", 0, 12);
+  auto anom = cl::anomaly(field);
+  const auto& g = field.grid();
+  for (int i = 0; i < g.nlat; i += 5) {
+    for (int j = 0; j < g.nlon; j += 7) {
+      double sum = 0.0;
+      for (int t = 0; t < anom.ntime(); ++t) sum += anom.at(t, i, j);
+      EXPECT_NEAR(sum, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Analysis, ZonalMeanShape) {
+  auto field = small_model().generate("temperature", 0, 2);
+  auto zm = cl::zonal_mean(field);
+  EXPECT_EQ(zm.grid().nlon, 1);
+  EXPECT_EQ(zm.grid().nlat, field.grid().nlat);
+  EXPECT_EQ(zm.ntime(), 2);
+}
+
+TEST(Analysis, GlobalMeanSeriesLength) {
+  auto field = small_model().generate("temperature", 0, 24);
+  auto series = cl::global_mean_series(field);
+  EXPECT_EQ(series.size(), 24u);
+  // Global mean temperature is sane.
+  for (double v : series) {
+    EXPECT_GT(v, -20.0);
+    EXPECT_LT(v, 40.0);
+  }
+}
+
+TEST(Analysis, RegridPreservesConstants) {
+  cl::Field f(cl::GridSpec{10, 20}, 1, "x");
+  for (auto& v : f.data()) v = 7.0;
+  auto r = cl::regrid(f, cl::GridSpec{17, 31});
+  EXPECT_EQ(r.grid().nlat, 17);
+  for (double v : r.data()) EXPECT_NEAR(v, 7.0, 1e-9);
+}
+
+TEST(Analysis, RegridToSameGridIsNearIdentity) {
+  auto field = small_model().generate("temperature", 0, 1);
+  auto r = cl::regrid(field, field.grid());
+  for (std::size_t k = 0; k < field.data().size(); ++k) {
+    EXPECT_NEAR(r.data()[k], field.data()[k], 1e-9);
+  }
+}
+
+TEST(Analysis, DifferenceAndStats) {
+  auto a = small_model().generate("temperature", 0, 2);
+  auto d = cl::difference(a, a);
+  ASSERT_TRUE(d.ok());
+  auto stats = cl::field_stats(*d);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+
+  cl::Field wrong(cl::GridSpec{3, 3}, 2, "x");
+  EXPECT_FALSE(cl::difference(a, wrong).ok());
+}
+
+TEST(Field, AppendTimeConcatenates) {
+  auto model = small_model();
+  auto a = model.generate("temperature", 0, 2);
+  auto b = model.generate("temperature", 2, 3);
+  ASSERT_TRUE(a.append_time(b).ok());
+  EXPECT_EQ(a.ntime(), 5);
+  auto direct = model.generate("temperature", 0, 5);
+  EXPECT_EQ(a.data(), direct.data());
+}
+
+TEST(Analysis, SeasonalClimatologyRecoversCycle) {
+  auto model = small_model();
+  // 4 whole years -> every calendar month averaged over 4 samples.
+  auto field = model.generate("temperature", 0, 48);
+  auto clim = cl::seasonal_climatology(field, 0);
+  EXPECT_EQ(clim.ntime(), 12);
+  // Northern midlatitude cell: July warmer than January in climatology.
+  const auto& g = field.grid();
+  const int i_north = g.nlat - 4;
+  double jan = 0.0, jul = 0.0;
+  for (int j = 0; j < g.nlon; ++j) {
+    jan += clim.at(0, i_north, j);
+    jul += clim.at(6, i_north, j);
+  }
+  EXPECT_GT(jul, jan + 4.0 * g.nlon);  // > 4 degC separation on average
+}
+
+TEST(Analysis, SeasonalClimatologyOffsetStart) {
+  // Same data, declared to start in July: the climatology must land the
+  // warm months in the same calendar slots.
+  auto model = small_model();
+  auto jan_start = cl::seasonal_climatology(
+      model.generate("temperature", 0, 24), 0);
+  auto jul_start = cl::seasonal_climatology(
+      model.generate("temperature", 6, 24), 6);
+  const auto& g = model.config().grid;
+  // Calendar December of both climatologies should roughly agree.
+  double diff = 0.0;
+  for (int j = 0; j < g.nlon; ++j) {
+    diff += std::abs(jan_start.at(11, g.nlat - 4, j) -
+                     jul_start.at(11, g.nlat - 4, j));
+  }
+  EXPECT_LT(diff / g.nlon, 3.0);  // same season, different sample years
+}
+
+TEST(Analysis, LinearTrendOnSyntheticRamp) {
+  cl::Field f(cl::GridSpec{4, 4}, 20, "x");
+  for (int t = 0; t < 20; ++t) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) f.at(t, i, j) = 2.5 * t + i;
+    }
+  }
+  auto trend = cl::linear_trend(f);
+  EXPECT_EQ(trend.ntime(), 1);
+  for (double v : trend.data()) EXPECT_NEAR(v, 2.5, 1e-9);
+}
+
+TEST(Analysis, LinearTrendOfConstantIsZero) {
+  cl::Field f(cl::GridSpec{3, 3}, 10, "x");
+  for (auto& v : f.data()) v = 7.0;
+  const auto trend = cl::linear_trend(f);
+  for (double v : trend.data()) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Analysis, CorrelationSelfIsOne) {
+  auto field = small_model().generate("temperature", 0, 24);
+  auto corr = cl::correlation(field, field);
+  ASSERT_TRUE(corr.ok());
+  for (double v : corr->data()) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Analysis, CorrelationAntiAndZero) {
+  cl::Field a(cl::GridSpec{2, 2}, 10, "a");
+  cl::Field b(cl::GridSpec{2, 2}, 10, "b");
+  cl::Field c(cl::GridSpec{2, 2}, 10, "c");
+  for (int t = 0; t < 10; ++t) {
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        a.at(t, i, j) = t;
+        b.at(t, i, j) = -3.0 * t + 5.0;
+        c.at(t, i, j) = 42.0;  // constant: correlation defined as 0
+      }
+    }
+  }
+  auto anti = cl::correlation(a, b);
+  ASSERT_TRUE(anti.ok());
+  for (double v : anti->data()) EXPECT_NEAR(v, -1.0, 1e-9);
+  auto none = cl::correlation(a, c);
+  ASSERT_TRUE(none.ok());
+  for (double v : none->data()) EXPECT_NEAR(v, 0.0, 1e-12);
+  cl::Field wrong(cl::GridSpec{3, 3}, 10, "w");
+  EXPECT_FALSE(cl::correlation(a, wrong).ok());
+}
+
+// ---------- rendering ----------
+
+TEST(Render, AsciiHasGridShape) {
+  auto field = small_model().generate("temperature", 0, 1);
+  const std::string art = cl::render_ascii(field);
+  // Header line + nlat rows.
+  int lines = 0;
+  for (char c : art) lines += (c == '\n');
+  EXPECT_EQ(lines, field.grid().nlat + 1);
+  EXPECT_NE(art.find("temperature"), std::string::npos);
+}
+
+TEST(Render, PpmHeaderAndSize) {
+  auto field = small_model().generate("temperature", 0, 1);
+  auto ppm = cl::render_ppm(field, 0, 2);
+  const std::string header(ppm.begin(), ppm.begin() + 2);
+  EXPECT_EQ(header, "P6");
+  // 36*2 x 18*2 pixels, 3 bytes each, plus a short header.
+  const std::size_t pixels = 72u * 36u * 3u;
+  EXPECT_GT(ppm.size(), pixels);
+  EXPECT_LT(ppm.size(), pixels + 64);
+}
+
+TEST(Render, WritePpmToDisk) {
+  auto field = small_model().generate("cloud_fraction", 0, 1);
+  const std::string path = "/tmp/esg_render_test.ppm";
+  ASSERT_TRUE(cl::write_ppm(field, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[2];
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  std::fclose(f);
+  EXPECT_EQ(magic[0], 'P');
+  EXPECT_EQ(magic[1], '6');
+  std::remove(path.c_str());
+}

@@ -1,0 +1,337 @@
+// Tests for the LDAP-like directory: DN algebra, entries, filter parsing
+// and evaluation, the server tree, and the RPC-served client.
+#include <gtest/gtest.h>
+
+#include "directory/dn.hpp"
+#include "directory/entry.hpp"
+#include "directory/filter.hpp"
+#include "directory/server.hpp"
+#include "directory/service.hpp"
+#include "sim/simulation.hpp"
+
+namespace ed = esg::directory;
+namespace ec = esg::common;
+namespace en = esg::net;
+namespace es = esg::sim;
+
+namespace {
+
+ed::Dn dn(const std::string& s) {
+  auto d = ed::Dn::parse(s);
+  EXPECT_TRUE(d.ok()) << s;
+  return *d;
+}
+
+ed::Filter filter(const std::string& s) {
+  auto f = ed::Filter::parse(s);
+  EXPECT_TRUE(f.ok()) << s << ": " << (f.ok() ? "" : f.error().message);
+  return *f;
+}
+
+}  // namespace
+
+// ---------- DN ----------
+
+TEST(Dn, ParseAndNormalize) {
+  auto d = dn("LC=CO2 measurements 1998, RC=GriPhyN, O=Grid");
+  EXPECT_EQ(d.depth(), 3u);
+  EXPECT_EQ(d.leaf().first, "LC");
+  EXPECT_EQ(d.normalized(), "lc=CO2 measurements 1998,rc=GriPhyN,o=Grid");
+}
+
+TEST(Dn, ParseErrors) {
+  EXPECT_FALSE(ed::Dn::parse("").ok());
+  EXPECT_FALSE(ed::Dn::parse("novalue,o=grid").ok());
+  EXPECT_FALSE(ed::Dn::parse("=x,o=grid").ok());
+  EXPECT_FALSE(ed::Dn::parse("a=,o=grid").ok());
+}
+
+TEST(Dn, ParentAndChild) {
+  auto d = dn("lf=f1,lc=co2,o=grid");
+  EXPECT_EQ(d.parent().normalized(), "lc=co2,o=grid");
+  EXPECT_EQ(dn("o=grid").parent().depth(), 0u);
+  EXPECT_EQ(dn("o=grid").child("rc", "esg").normalized(), "rc=esg,o=grid");
+}
+
+TEST(Dn, IsWithin) {
+  auto base = dn("rc=esg,o=grid");
+  EXPECT_TRUE(dn("lc=co2,rc=esg,o=grid").is_within(base));
+  EXPECT_TRUE(base.is_within(base));
+  EXPECT_FALSE(dn("lc=co2,rc=other,o=grid").is_within(base));
+  EXPECT_FALSE(dn("o=grid").is_within(base));
+}
+
+TEST(Dn, CaseInsensitiveAttrsCaseSensitiveValues) {
+  EXPECT_EQ(dn("O=Grid"), dn("o=Grid"));
+  EXPECT_FALSE(dn("o=Grid") == dn("o=grid"));
+}
+
+// ---------- Entry ----------
+
+TEST(Entry, MultiValuedAttributes) {
+  ed::Entry e(dn("lc=co2,o=grid"));
+  e.add("filename", "a.ncx").add("filename", "b.ncx");
+  EXPECT_EQ(e.values("FILENAME").size(), 2u);
+  e.set("filename", "only.ncx");
+  EXPECT_EQ(e.values("filename").size(), 1u);
+  e.remove_value("filename", "only.ncx");
+  EXPECT_FALSE(e.has("filename"));
+}
+
+TEST(Entry, IntAttributes) {
+  ed::Entry e(dn("lf=f,o=grid"));
+  e.add("size", std::int64_t{1'940'000'000});
+  EXPECT_EQ(e.get_int("size"), 1'940'000'000);
+  e.set("size", "not a number");
+  EXPECT_EQ(e.get_int("size", -1), -1);
+}
+
+TEST(Entry, SerializeRoundTrip) {
+  ed::Entry e(dn("lc=co2 1998,rc=esg,o=grid"));
+  e.add("objectclass", "logicalcollection");
+  e.add("filename", "jan.ncx").add("filename", "feb.ncx");
+  ec::ByteWriter w;
+  e.serialize(w);
+  ec::ByteReader r(w.bytes());
+  auto back = ed::Entry::deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dn(), e.dn());
+  EXPECT_EQ(back->values("filename"), e.values("filename"));
+}
+
+// ---------- Filter ----------
+
+TEST(Filter, SimpleEquality) {
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("objectclass", "collection");
+  EXPECT_TRUE(filter("(objectclass=collection)").matches(e));
+  EXPECT_FALSE(filter("(objectclass=location)").matches(e));
+}
+
+TEST(Filter, WildcardsAndPresence) {
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("name", "co2.1998.jan.ncx");
+  EXPECT_TRUE(filter("(name=co2*)").matches(e));
+  EXPECT_TRUE(filter("(name=*jan*)").matches(e));
+  EXPECT_FALSE(filter("(name=co3*)").matches(e));
+  EXPECT_TRUE(filter("(name=*)").matches(e));
+  EXPECT_FALSE(filter("(missing=*)").matches(e));
+}
+
+TEST(Filter, BooleanCombinators) {
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("a", "1");
+  e.add("b", "2");
+  EXPECT_TRUE(filter("(&(a=1)(b=2))").matches(e));
+  EXPECT_FALSE(filter("(&(a=1)(b=3))").matches(e));
+  EXPECT_TRUE(filter("(|(a=9)(b=2))").matches(e));
+  EXPECT_FALSE(filter("(|(a=9)(b=9))").matches(e));
+  EXPECT_TRUE(filter("(!(a=9))").matches(e));
+  EXPECT_FALSE(filter("(!(a=1))").matches(e));
+  EXPECT_TRUE(filter("(&(a=1)(|(b=2)(b=3))(!(c=*)))").matches(e));
+}
+
+TEST(Filter, NumericComparisons) {
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("size", "900");  // numerically 900 < 1000 but lexically "900" > "1000"
+  EXPECT_TRUE(filter("(size<=1000)").matches(e));
+  EXPECT_FALSE(filter("(size>=1000)").matches(e));
+  EXPECT_TRUE(filter("(size>=900)").matches(e));
+}
+
+TEST(Filter, ParseErrors) {
+  EXPECT_FALSE(ed::Filter::parse("no-parens").ok());
+  EXPECT_FALSE(ed::Filter::parse("(a=1").ok());
+  EXPECT_FALSE(ed::Filter::parse("(=x)").ok());
+  EXPECT_FALSE(ed::Filter::parse("(a=1)(b=2)").ok());
+}
+
+TEST(Filter, MultiValuedAnyMatch) {
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("filename", "a.ncx");
+  e.add("filename", "b.ncx");
+  EXPECT_TRUE(filter("(filename=b.ncx)").matches(e));
+}
+
+TEST(Filter, RoundTripToString) {
+  auto f = filter("(&(objectclass=collection)(name=co2*))");
+  auto f2 = filter(f.to_string());
+  ed::Entry e(dn("x=1,o=g"));
+  e.add("objectclass", "collection");
+  e.add("name", "co2x");
+  EXPECT_TRUE(f2.matches(e));
+}
+
+// ---------- Server ----------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ed::Entry root(dn("o=grid"));
+    root.add("objectclass", "organization");
+    ASSERT_TRUE(server_.add(root).ok());
+    ed::Entry rc(dn("rc=esg,o=grid"));
+    rc.add("objectclass", "replicacatalog");
+    ASSERT_TRUE(server_.add(rc).ok());
+    for (const char* name : {"co2-1998", "co2-1999"}) {
+      ed::Entry c(dn(std::string("lc=") + name + ",rc=esg,o=grid"));
+      c.add("objectclass", "logicalcollection");
+      c.add("name", name);
+      ASSERT_TRUE(server_.add(c).ok());
+    }
+  }
+  ed::DirectoryServer server_;
+};
+
+TEST_F(ServerTest, AddRequiresParent) {
+  ed::Entry orphan(dn("lf=f,lc=nope,rc=esg,o=grid"));
+  auto st = server_.add(orphan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ec::Errc::not_found);
+}
+
+TEST_F(ServerTest, AddDuplicateFails) {
+  ed::Entry dup(dn("rc=esg,o=grid"));
+  EXPECT_EQ(server_.add(dup).error().code, ec::Errc::already_exists);
+}
+
+TEST_F(ServerTest, EnsureCreatesAncestors) {
+  ed::Entry deep(dn("lf=f,lc=new,rc=esg,o=grid"));
+  deep.add("size", "10");
+  ASSERT_TRUE(server_.ensure(deep).ok());
+  EXPECT_TRUE(server_.exists(dn("lc=new,rc=esg,o=grid")));
+  EXPECT_TRUE(server_.exists(dn("lf=f,lc=new,rc=esg,o=grid")));
+}
+
+TEST_F(ServerTest, SearchScopes) {
+  auto all = server_.search(dn("o=grid"), ed::Scope::sub, ed::Filter::match_all());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);
+
+  auto one = server_.search(dn("rc=esg,o=grid"), ed::Scope::one,
+                            ed::Filter::match_all());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 2u);
+
+  auto base = server_.search(dn("rc=esg,o=grid"), ed::Scope::base,
+                             ed::Filter::match_all());
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 1u);
+  EXPECT_EQ(base->front().get("objectclass"), "replicacatalog");
+}
+
+TEST_F(ServerTest, SearchWithFilter) {
+  auto hits = server_.search(dn("o=grid"), ed::Scope::sub,
+                             filter("(name=co2-1998)"));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(hits->front().get("name"), "co2-1998");
+}
+
+TEST_F(ServerTest, SearchMissingBaseFails) {
+  auto r = server_.search(dn("rc=none,o=grid"), ed::Scope::sub,
+                          ed::Filter::match_all());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ServerTest, ModifyInPlace) {
+  ASSERT_TRUE(server_
+                  .modify(dn("lc=co2-1998,rc=esg,o=grid"),
+                          [](ed::Entry& e) { e.add("filename", "jan.ncx"); })
+                  .ok());
+  auto e = server_.lookup(dn("lc=co2-1998,rc=esg,o=grid"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->get("filename"), "jan.ncx");
+}
+
+TEST_F(ServerTest, RemoveLeafAndSubtree) {
+  EXPECT_FALSE(server_.remove(dn("rc=esg,o=grid")).ok());  // has children
+  EXPECT_TRUE(server_.remove(dn("lc=co2-1998,rc=esg,o=grid")).ok());
+  EXPECT_TRUE(server_.remove(dn("rc=esg,o=grid"), /*recursive=*/true).ok());
+  EXPECT_EQ(server_.size(), 1u);  // only o=grid remains
+}
+
+// ---------- RPC-served directory ----------
+
+TEST(DirectoryService, ClientRoundTrip) {
+  es::Simulation sim;
+  en::Network net(sim);
+  net.add_site("a");
+  net.add_site("b");
+  net.add_link({.name = "l", .site_a = "a", .site_b = "b",
+                .capacity = ec::mbps(100), .latency = 5 * ec::kMillisecond});
+  auto* client_host = net.add_host({.name = "c", .site = "a"});
+  auto* server_host = net.add_host({.name = "s", .site = "b"});
+  esg::rpc::Orb orb(net);
+  auto server = std::make_shared<ed::DirectoryServer>();
+  ed::DirectoryService service(orb, *server_host, server);
+  ed::DirectoryClient client(orb, *client_host, *server_host);
+
+  ed::Entry e(dn("lc=co2,rc=esg,o=grid"));
+  e.add("objectclass", "logicalcollection");
+  bool added = false;
+  client.add(e, /*ensure=*/true, [&](ec::Status st) {
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+    added = true;
+  });
+  sim.run();
+  ASSERT_TRUE(added);
+
+  bool modified = false;
+  client.modify(dn("lc=co2,rc=esg,o=grid"),
+                {{ed::ModOp::Kind::add, "filename", "jan.ncx"}},
+                [&](ec::Status st) {
+                  ASSERT_TRUE(st.ok());
+                  modified = true;
+                });
+  sim.run();
+  ASSERT_TRUE(modified);
+
+  bool found = false;
+  client.search(dn("o=grid"), ed::Scope::sub, "(filename=jan*)",
+                [&](ec::Result<std::vector<ed::Entry>> r) {
+                  ASSERT_TRUE(r.ok());
+                  ASSERT_EQ(r->size(), 1u);
+                  EXPECT_EQ(r->front().dn(), dn("lc=co2,rc=esg,o=grid"));
+                  found = true;
+                });
+  sim.run();
+  EXPECT_TRUE(found);
+
+  bool looked_up = false;
+  client.lookup(dn("lc=co2,rc=esg,o=grid"), [&](ec::Result<ed::Entry> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->get("filename"), "jan.ncx");
+    looked_up = true;
+  });
+  sim.run();
+  EXPECT_TRUE(looked_up);
+
+  bool removed = false;
+  client.remove(dn("lc=co2,rc=esg,o=grid"), false, [&](ec::Status st) {
+    ASSERT_TRUE(st.ok());
+    removed = true;
+  });
+  sim.run();
+  EXPECT_TRUE(removed);
+  EXPECT_FALSE(server->exists(dn("lc=co2,rc=esg,o=grid")));
+}
+
+TEST(DirectoryService, LookupMissingReportsNotFound) {
+  es::Simulation sim;
+  en::Network net(sim);
+  net.add_site("a");
+  auto* h = net.add_host({.name = "h", .site = "a"});
+  esg::rpc::Orb orb(net);
+  auto server = std::make_shared<ed::DirectoryServer>();
+  ed::DirectoryService service(orb, *h, server);
+  ed::DirectoryClient client(orb, *h, *h);
+  bool got = false;
+  client.lookup(dn("o=missing"), [&](ec::Result<ed::Entry> r) {
+    got = true;
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ec::Errc::not_found);
+  });
+  sim.run();
+  EXPECT_TRUE(got);
+}

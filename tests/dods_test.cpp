@@ -1,0 +1,180 @@
+// Tests for the DODS-style baseline: URL fetch, filters/constraints, its
+// deliberate weaknesses (single stream, no restart), and parity with
+// GridFTP-served content.
+#include <gtest/gtest.h>
+
+#include "climate/model.hpp"
+#include "climate/subset.hpp"
+#include "dods/dods.hpp"
+#include "grid_fixture.hpp"
+#include "ncformat/ncx.hpp"
+
+namespace ed = esg::dods;
+namespace ec = esg::common;
+namespace cl = esg::climate;
+using ec::kSecond;
+using esg::testing::MiniGrid;
+
+namespace {
+
+struct DodsWorld {
+  MiniGrid grid{{"lbnl"}};
+  std::unique_ptr<ed::DodsServer> server;
+  std::map<std::string, ed::DodsServer*> registry;
+  std::unique_ptr<ed::DodsClient> client;
+
+  DodsWorld() {
+    auto* host_server = grid.servers.at("lbnl.host").get();
+    server = std::make_unique<ed::DodsServer>(grid.orb, host_server->host(),
+                                              host_server->storage_ptr());
+    server->register_filter(
+        cl::kNcxSubsetModule,
+        [](const esg::storage::FileObject& f, const std::string& c) {
+          return cl::ncx_subset_module(f, c);
+        });
+    registry["lbnl.host"] = server.get();
+    client = std::make_unique<ed::DodsClient>(
+        grid.orb, *grid.client_host,
+        std::make_shared<esg::storage::HostStorage>(), registry);
+  }
+};
+
+}  // namespace
+
+TEST(Dods, SimpleFetch) {
+  DodsWorld w;
+  ASSERT_TRUE(w.server->storage()
+                  .put(esg::storage::FileObject::synthetic("data.ncx",
+                                                           10'000'000))
+                  .ok());
+  bool done = false;
+  w.client->fetch("lbnl.host", "data.ncx", "local.ncx", {},
+                  [&](ed::DodsResult r) {
+                    ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+                    EXPECT_EQ(r.bytes_transferred, 10'000'000);
+                    EXPECT_EQ(r.attempts, 1);
+                    done = true;
+                  });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(w.client->local_storage().size_of("local.ncx").value_or(0),
+            10'000'000);
+}
+
+TEST(Dods, MissingFileIs404) {
+  DodsWorld w;
+  bool done = false;
+  w.client->fetch("lbnl.host", "ghost", "x", {}, [&](ed::DodsResult r) {
+    done = true;
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.error().code, ec::Errc::not_found);
+  });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Dods, ConstraintExpressionSubsets) {
+  DodsWorld w;
+  auto chunk = cl::ClimateModel(
+                   cl::ModelConfig{cl::GridSpec{18, 36}, 5, 1995})
+                   .write_chunk(0, 12);
+  ASSERT_TRUE(w.server->storage()
+                  .put(esg::storage::FileObject::with_content("c.ncx", chunk))
+                  .ok());
+  ed::DodsOptions opts;
+  opts.filter = cl::kNcxSubsetModule;
+  opts.constraint = "var=temperature;months=0:3";
+  bool done = false;
+  w.client->fetch("lbnl.host", "c.ncx", "sub.ncx", opts,
+                  [&](ed::DodsResult r) {
+                    ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+                    done = true;
+                  });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  auto f = w.client->local_storage().get("sub.ncx");
+  ASSERT_TRUE(f.ok());
+  auto reader = esg::ncformat::NcxReader::open(f->content);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->dimension_size("time").value_or(0), 3u);
+  EXPECT_FALSE(reader->variable("precipitation").ok());
+}
+
+TEST(Dods, UnknownFilterRejected) {
+  DodsWorld w;
+  ASSERT_TRUE(w.server->storage()
+                  .put(esg::storage::FileObject::synthetic("f", 100))
+                  .ok());
+  ed::DodsOptions opts;
+  opts.filter = "no-such-filter";
+  bool done = false;
+  w.client->fetch("lbnl.host", "f", "x", opts, [&](ed::DodsResult r) {
+    done = true;
+    EXPECT_FALSE(r.status.ok());
+  });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Dods, NoRestartMeansFullReFetch) {
+  DodsWorld w;
+  ASSERT_TRUE(w.server->storage()
+                  .put(esg::storage::FileObject::synthetic("big",
+                                                           60'000'000))
+                  .ok());
+  // Outage [2 s, 12 s): the first GET dies; the retry starts from zero.
+  auto* link = w.grid.net.find_link("lbnl-uplink");
+  w.grid.sim.schedule_at(2 * kSecond,
+                         [&] { w.grid.net.set_link_down(*link, true); });
+  w.grid.sim.schedule_at(12 * kSecond,
+                         [&] { w.grid.net.set_link_down(*link, false); });
+  ed::DodsOptions opts;
+  opts.stall_timeout = 3 * kSecond;
+  opts.max_attempts = 5;
+  opts.retry_backoff = 2 * kSecond;
+  opts.buffer_size = 4 * ec::kMiB;
+  bool done = false;
+  ed::DodsResult result;
+  w.client->fetch("lbnl.host", "big", "big", opts, [&](ed::DodsResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  w.grid.sim.run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.status.ok()) << result.status.error().to_string();
+  EXPECT_GE(result.attempts, 2);  // paid the re-GET
+  // Total wall time exceeds outage + one full transfer (~5 s at 100 Mb/s).
+  EXPECT_GT(ec::to_seconds(result.finished - result.started), 12.0);
+}
+
+TEST(Dods, GivesUpAfterMaxAttempts) {
+  DodsWorld w;
+  ASSERT_TRUE(w.server->storage()
+                  .put(esg::storage::FileObject::synthetic("f", 50'000'000))
+                  .ok());
+  w.grid.net.apply_outage("lbnl-uplink", true);
+  ed::DodsOptions opts;
+  opts.stall_timeout = 2 * kSecond;
+  opts.max_attempts = 2;
+  opts.retry_backoff = kSecond;
+  bool done = false;
+  w.client->fetch("lbnl.host", "f", "x", opts, [&](ed::DodsResult r) {
+    done = true;
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_EQ(r.bytes_transferred, 0);  // nothing useful landed
+  });
+  w.grid.sim.run_until(w.grid.sim.now() + 120 * kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST(Dods, UnknownHostFailsFast) {
+  DodsWorld w;
+  bool done = false;
+  w.client->fetch("nowhere.example", "f", "x", {}, [&](ed::DodsResult r) {
+    done = true;
+    EXPECT_FALSE(r.status.ok());
+  });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}

@@ -1,0 +1,116 @@
+// Shared test fixture: a miniature multi-site grid with a replica catalog,
+// an MDS, several GridFTP servers, and a client host — enough substrate for
+// the replica/NWS/MDS/HRM/RM test suites without the full ESG testbed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "directory/service.hpp"
+#include "gridftp/client.hpp"
+#include "gridftp/server.hpp"
+#include "mds/mds.hpp"
+#include "net/topology.hpp"
+#include "replica/catalog.hpp"
+#include "rpc/orb.hpp"
+#include "security/gsi.hpp"
+#include "sim/simulation.hpp"
+
+namespace esg::testing {
+
+struct MiniGrid {
+  sim::Simulation sim;
+  net::Network net{sim};
+  rpc::Orb orb{net};
+  security::CertificateAuthority ca{"/O=Grid/CN=ESG CA"};
+  gridftp::ServerRegistry registry;
+
+  net::Host* client_host = nullptr;
+  net::Host* catalog_host = nullptr;
+  net::Host* mds_host = nullptr;
+
+  std::shared_ptr<directory::DirectoryServer> catalog_backing;
+  std::unique_ptr<directory::DirectoryService> catalog_service;
+  std::unique_ptr<mds::MdsService> mds_service;
+  std::unique_ptr<gridftp::GridFtpClient> client;
+  std::map<std::string, std::unique_ptr<gridftp::GridFtpServer>> servers;
+
+  /// Sites: "client-site" plus one per entry in `server_sites`; each server
+  /// site gets a host "<site>.host" running a GridFTP server.  All sites
+  /// connect to a hub ("hub") star topology with per-site latency/capacity.
+  explicit MiniGrid(const std::vector<std::string>& server_sites = {"lbnl",
+                                                                    "isi"},
+                    common::Rate link_rate = common::mbps(100),
+                    common::SimDuration latency = 10 * common::kMillisecond) {
+    net.add_site("client-site");
+    net.add_site("hub");
+    net.add_link({.name = "client-uplink", .site_a = "client-site",
+                  .site_b = "hub", .capacity = link_rate,
+                  .latency = latency / 2});
+    client_host = net.add_host({.name = "client", .site = "client-site",
+                                .nic_rate = common::gbps(1),
+                                .cpu_rate = common::gbps(1),
+                                .disk_rate = common::gbps(1)});
+
+    for (const auto& site : server_sites) {
+      net.add_site(site);
+      net.add_link({.name = site + "-uplink", .site_a = site, .site_b = "hub",
+                    .capacity = link_rate, .latency = latency / 2});
+      add_server(site + ".host", site);
+    }
+
+    // Catalog + MDS live at the first server site (or client site if none).
+    const std::string infra_site =
+        server_sites.empty() ? "client-site" : server_sites.front();
+    catalog_host = net.add_host({.name = "catalog.host", .site = infra_site});
+    mds_host = net.add_host({.name = "mds.host", .site = infra_site});
+    catalog_backing = std::make_shared<directory::DirectoryServer>();
+    catalog_service = std::make_unique<directory::DirectoryService>(
+        orb, *catalog_host, catalog_backing);
+    mds_service = std::make_unique<mds::MdsService>(orb, *mds_host);
+
+    security::CredentialWallet wallet;
+    wallet.set_identity(
+        ca.issue("/O=Grid/CN=esg-user", 0, 100000 * common::kHour));
+    client = std::make_unique<gridftp::GridFtpClient>(
+        orb, *client_host, std::make_shared<storage::HostStorage>(),
+        std::move(wallet), registry);
+  }
+
+  gridftp::GridFtpServer* add_server(const std::string& host_name,
+                                     const std::string& site) {
+    auto* host = net.add_host({.name = host_name, .site = site,
+                               .nic_rate = common::gbps(1),
+                               .cpu_rate = common::gbps(1),
+                               .disk_rate = common::gbps(1)});
+    security::GridMapFile gm;
+    gm.add("/O=Grid/CN=esg-user", "esg");
+    auto server = std::make_unique<gridftp::GridFtpServer>(
+        orb, *host, std::make_shared<storage::HostStorage>(), ca,
+        std::move(gm));
+    auto* ptr = server.get();
+    registry.add(ptr);
+    servers[host_name] = std::move(server);
+    return ptr;
+  }
+
+  replica::ReplicaCatalog make_catalog(const std::string& name = "esg") {
+    return replica::ReplicaCatalog(
+        directory::DirectoryClient(orb, *client_host, *catalog_host), name);
+  }
+
+  mds::MdsClient make_mds_client() {
+    return mds::MdsClient(orb, *client_host, *mds_host);
+  }
+
+  /// Drive the simulation until `flag` is true (assert progress).
+  bool run_until_flag(bool& flag,
+                      common::SimDuration limit = 3600 * common::kSecond) {
+    sim.run_until(sim.now() + limit);
+    return flag;
+  }
+};
+
+}  // namespace esg::testing

@@ -1,0 +1,148 @@
+// Tests for multi-source single-file fetch: range math, bit-exact
+// reassembly, bandwidth aggregation across replica sites, and failover of
+// a range to an alternate source.
+#include <gtest/gtest.h>
+
+#include "grid_fixture.hpp"
+#include "gridftp/multisource.hpp"
+
+namespace eg = esg::gridftp;
+namespace ec = esg::common;
+namespace est = esg::storage;
+using ec::kSecond;
+using esg::testing::MiniGrid;
+
+namespace {
+
+std::shared_ptr<const std::vector<std::uint8_t>> patterned(ec::Bytes n) {
+  auto data = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    (*data)[i] = static_cast<std::uint8_t>((i * 11400714819323198485ull) >> 56);
+  }
+  return data;
+}
+
+eg::MultiSourceResult run_get(MiniGrid& grid, std::vector<eg::FtpUrl> urls,
+                              eg::MultiSourceOptions opts = {}) {
+  bool done = false;
+  eg::MultiSourceResult result;
+  eg::multi_source_get(*grid.client, std::move(urls), "assembled", opts,
+                       [&](eg::MultiSourceResult r) {
+                         result = std::move(r);
+                         done = true;
+                       });
+  grid.sim.run_while_pending([&] { return done; });
+  return result;
+}
+
+}  // namespace
+
+TEST(MultiSource, ReassemblesBitExactlyFromThreeSites) {
+  MiniGrid grid({"lbnl", "isi", "ncar"});
+  auto data = patterned(3'000'001);  // odd size: uneven final range
+  for (const char* host : {"lbnl.host", "isi.host", "ncar.host"}) {
+    ASSERT_TRUE(grid.servers.at(host)
+                    ->storage()
+                    .put(est::FileObject::with_content("f.bin", data))
+                    .ok());
+  }
+  auto result = run_get(grid, {{"lbnl.host", "f.bin"},
+                               {"isi.host", "f.bin"},
+                               {"ncar.host", "f.bin"}});
+  ASSERT_TRUE(result.status.ok()) << result.status.error().to_string();
+  EXPECT_EQ(result.sources, 3);
+  EXPECT_EQ(result.file_size, 3'000'001);
+  EXPECT_EQ(result.bytes_transferred, 3'000'001);
+  auto local = grid.client->local_storage().get("assembled");
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(local->content);
+  EXPECT_EQ(*local->content, *data);
+  // Range temporaries cleaned up.
+  EXPECT_EQ(grid.client->local_storage().file_count(), 1u);
+}
+
+TEST(MultiSource, AggregatesBandwidthAcrossSiteUplinks) {
+  // Each site's uplink is 100 Mb/s; three sources together approach 300.
+  auto run = [](std::size_t max_sources) {
+    MiniGrid grid({"lbnl", "isi", "ncar"}, ec::mbps(100));
+    // Fatten the shared client uplink so sites are the bottleneck.
+    grid.net.fluid().set_capacity(
+        grid.net.find_link("client-uplink")->backward(), ec::gbps(1));
+    grid.net.fluid().set_capacity(
+        grid.net.find_link("client-uplink")->forward(), ec::gbps(1));
+    for (const char* host : {"lbnl.host", "isi.host", "ncar.host"}) {
+      (void)grid.servers.at(host)->storage().put(
+          est::FileObject::synthetic("big", 150'000'000));
+    }
+    eg::MultiSourceOptions opts;
+    opts.max_sources = max_sources;
+    opts.transfer.buffer_size = 2 * ec::kMiB;
+    const auto t0 = grid.sim.now();
+    auto result = run_get(grid,
+                          {{"lbnl.host", "big"},
+                           {"isi.host", "big"},
+                           {"ncar.host", "big"}},
+                          opts);
+    EXPECT_TRUE(result.status.ok());
+    return ec::to_seconds(grid.sim.now() - t0);
+  };
+  const double single = run(1);
+  const double triple = run(3);
+  EXPECT_GT(single, 2.2 * triple);  // ~3x aggregate from 3 sources
+  EXPECT_LT(single, 4.0 * triple);
+}
+
+TEST(MultiSource, RangeFailsOverToAlternateReplica) {
+  MiniGrid grid({"lbnl", "isi"});
+  auto data = patterned(40'000'000);
+  for (const char* host : {"lbnl.host", "isi.host"}) {
+    ASSERT_TRUE(grid.servers.at(host)
+                    ->storage()
+                    .put(est::FileObject::with_content("f", data))
+                    .ok());
+  }
+  // Kill isi shortly after the transfer starts; its range must restart
+  // against lbnl and the file still assembles bit-exactly.
+  grid.sim.schedule_at(500 * ec::kMillisecond, [&] {
+    grid.net.set_host_down(*grid.net.find_host("isi.host"), true);
+  });
+  eg::MultiSourceOptions opts;
+  opts.transfer.stall_timeout = 3 * kSecond;
+  opts.reliability.retry_backoff = kSecond;
+  auto result = run_get(grid, {{"lbnl.host", "f"}, {"isi.host", "f"}}, opts);
+  ASSERT_TRUE(result.status.ok()) << result.status.error().to_string();
+  EXPECT_GT(result.total_attempts, 2);
+  auto local = grid.client->local_storage().get("assembled");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(*local->content, *data);
+}
+
+TEST(MultiSource, SmallFileUsesFewerSources) {
+  MiniGrid grid({"lbnl", "isi", "ncar"});
+  for (const char* host : {"lbnl.host", "isi.host", "ncar.host"}) {
+    (void)grid.servers.at(host)->storage().put(
+        est::FileObject::synthetic("tiny", 100'000));
+  }
+  auto result = run_get(grid, {{"lbnl.host", "tiny"},
+                               {"isi.host", "tiny"},
+                               {"ncar.host", "tiny"}});
+  ASSERT_TRUE(result.status.ok());
+  // 100 KB is below the per-source floor: one range only.
+  EXPECT_EQ(result.sources, 1);
+  EXPECT_EQ(result.bytes_transferred, 100'000);
+}
+
+TEST(MultiSource, MissingFileFails) {
+  MiniGrid grid({"lbnl"});
+  auto result = run_get(grid, {{"lbnl.host", "ghost"}});
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.error().code, ec::Errc::not_found);
+}
+
+TEST(MultiSource, NoReplicasRejected) {
+  MiniGrid grid({"lbnl"});
+  auto result = run_get(grid, {});
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.error().code, ec::Errc::invalid_argument);
+}

@@ -1,0 +1,149 @@
+// Tests for the ncx self-describing format: round trips, hyperslabs,
+// attribute handling, and corruption detection.
+#include <gtest/gtest.h>
+
+#include "ncformat/ncx.hpp"
+
+namespace nc = esg::ncformat;
+namespace ec = esg::common;
+
+namespace {
+
+std::shared_ptr<const std::vector<std::uint8_t>> sample_file() {
+  nc::NcxWriter w;
+  w.add_dimension("time", 3);
+  w.add_dimension("lat", 2);
+  w.add_dimension("lon", 4);
+  w.add_global_attr("source", "test");
+  std::vector<double> data(3 * 2 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i);
+  }
+  EXPECT_TRUE(w.add_variable("temp", nc::DataType::f64,
+                             {"time", "lat", "lon"}, data,
+                             {{"units", "degC"}})
+                  .ok());
+  std::vector<double> lat = {-45.0, 45.0};
+  EXPECT_TRUE(w.add_variable("lat", nc::DataType::f64, {"lat"}, lat).ok());
+  return w.finish();
+}
+
+}  // namespace
+
+TEST(Ncx, RoundTripMetadata) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok()) << reader.error().to_string();
+  EXPECT_EQ(reader->dimensions().size(), 3u);
+  EXPECT_EQ(reader->global_attrs().at("source"), "test");
+  EXPECT_EQ(reader->variable_names().size(), 2u);
+  auto v = reader->variable("temp");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->dims, (std::vector<std::string>{"time", "lat", "lon"}));
+  EXPECT_EQ(v->attrs.at("units"), "degC");
+  EXPECT_EQ(reader->dimension_size("lon").value_or(0), 4u);
+}
+
+TEST(Ncx, FullReadRoundTripsValues) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok());
+  auto data = reader->read("temp");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 24u);
+  EXPECT_DOUBLE_EQ((*data)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*data)[23], 23.0);
+}
+
+TEST(Ncx, Float32LosesOnlyPrecision) {
+  nc::NcxWriter w;
+  w.add_dimension("x", 2);
+  ASSERT_TRUE(w.add_variable("v", nc::DataType::f32, {"x"},
+                             {1.5, 3.25})
+                  .ok());
+  auto reader = nc::NcxReader::open(w.finish());
+  ASSERT_TRUE(reader.ok());
+  auto data = reader->read("v");
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ((*data)[0], 1.5);   // exactly representable in f32
+  EXPECT_DOUBLE_EQ((*data)[1], 3.25);
+}
+
+TEST(Ncx, HyperslabInterior) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok());
+  // One time step (t=1), all lats, lons 1..2.
+  auto slab = reader->read_slab("temp", {1, 0, 1}, {1, 2, 2});
+  ASSERT_TRUE(slab.ok()) << slab.error().to_string();
+  // Flat layout: t*8 + lat*4 + lon. t=1 -> base 8.
+  EXPECT_EQ(*slab, (std::vector<double>{9, 10, 13, 14}));
+}
+
+TEST(Ncx, HyperslabFullEqualsRead) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok());
+  auto slab = reader->read_slab("temp", {0, 0, 0}, {3, 2, 4});
+  auto full = reader->read("temp");
+  ASSERT_TRUE(slab.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*slab, *full);
+}
+
+TEST(Ncx, HyperslabOutOfRangeFails) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->read_slab("temp", {2, 0, 0}, {2, 2, 4}).ok());
+  EXPECT_FALSE(reader->read_slab("temp", {0, 0}, {3, 2}).ok());  // bad rank
+}
+
+TEST(Ncx, MissingVariableFails) {
+  auto reader = nc::NcxReader::open(sample_file());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->read("nope").ok());
+  EXPECT_FALSE(reader->variable("nope").ok());
+  EXPECT_FALSE(reader->dimension_size("nope").ok());
+}
+
+TEST(Ncx, WriterRejectsBadShapes) {
+  nc::NcxWriter w;
+  w.add_dimension("x", 3);
+  EXPECT_FALSE(w.add_variable("v", nc::DataType::f64, {"x"}, {1.0}).ok());
+  EXPECT_FALSE(
+      w.add_variable("v", nc::DataType::f64, {"ghost"}, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(Ncx, BadMagicRejected) {
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{'N', 'O', 'P', 'E', 0, 0, 0, 0});
+  EXPECT_FALSE(nc::NcxReader::open(bytes).ok());
+}
+
+TEST(Ncx, TruncatedFileRejected) {
+  auto full = sample_file();
+  auto cut = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(full->begin(), full->begin() + 40));
+  EXPECT_FALSE(nc::NcxReader::open(cut).ok());
+}
+
+TEST(Ncx, DataPastEndRejected) {
+  auto full = sample_file();
+  // Strip the data section: header claims blobs past the new end.
+  auto cut = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(full->begin(), full->end() - 16));
+  EXPECT_FALSE(nc::NcxReader::open(cut).ok());
+}
+
+TEST(Ncx, BitFlipCorruptionDetected) {
+  auto full = sample_file();
+  auto corrupt = std::make_shared<std::vector<std::uint8_t>>(*full);
+  // Flip one bit in the middle of the data section.
+  (*corrupt)[corrupt->size() / 2] ^= 0x10;
+  auto result = nc::NcxReader::open(
+      std::shared_ptr<const std::vector<std::uint8_t>>(std::move(corrupt)));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("checksum"), std::string::npos);
+}
+
+TEST(Ncx, DeterministicEncoding) {
+  auto a = sample_file();
+  auto b = sample_file();
+  EXPECT_EQ(*a, *b);
+}

@@ -1,0 +1,195 @@
+// Tests for the replicated directory (§6.2 future work): asynchronous
+// primary-copy replication and read failover.
+#include <gtest/gtest.h>
+
+#include "directory/replicated.hpp"
+#include "sim/simulation.hpp"
+
+namespace ed = esg::directory;
+namespace ec = esg::common;
+namespace en = esg::net;
+namespace es = esg::sim;
+using ec::kMillisecond;
+using ec::kSecond;
+
+namespace {
+
+struct ReplWorld {
+  es::Simulation sim;
+  en::Network net{sim};
+  esg::rpc::Orb orb{net};
+  en::Host* client_host = nullptr;
+  en::Host* primary_host = nullptr;
+  en::Host* replica1_host = nullptr;
+  en::Host* replica2_host = nullptr;
+  std::shared_ptr<ed::DirectoryServer> primary_server;
+  std::shared_ptr<ed::DirectoryServer> replica1_server;
+  std::shared_ptr<ed::DirectoryServer> replica2_server;
+  std::unique_ptr<ed::DirectoryService> replica1_service;
+  std::unique_ptr<ed::DirectoryService> replica2_service;
+  std::unique_ptr<ed::ReplicatedDirectoryService> primary_service;
+
+  ReplWorld() {
+    for (const char* s : {"c", "p", "r1", "r2"}) net.add_site(s);
+    net.add_link({.name = "c-p", .site_a = "c", .site_b = "p",
+                  .capacity = ec::mbps(100), .latency = 5 * kMillisecond});
+    net.add_link({.name = "c-r1", .site_a = "c", .site_b = "r1",
+                  .capacity = ec::mbps(100), .latency = 8 * kMillisecond});
+    net.add_link({.name = "p-r1", .site_a = "p", .site_b = "r1",
+                  .capacity = ec::mbps(100), .latency = 6 * kMillisecond});
+    net.add_link({.name = "p-r2", .site_a = "p", .site_b = "r2",
+                  .capacity = ec::mbps(100), .latency = 9 * kMillisecond});
+    net.add_link({.name = "c-r2", .site_a = "c", .site_b = "r2",
+                  .capacity = ec::mbps(100), .latency = 12 * kMillisecond});
+    client_host = net.add_host({.name = "client", .site = "c"});
+    primary_host = net.add_host({.name = "primary", .site = "p"});
+    replica1_host = net.add_host({.name = "replica1", .site = "r1"});
+    replica2_host = net.add_host({.name = "replica2", .site = "r2"});
+
+    primary_server = std::make_shared<ed::DirectoryServer>();
+    replica1_server = std::make_shared<ed::DirectoryServer>();
+    replica2_server = std::make_shared<ed::DirectoryServer>();
+    replica1_service = std::make_unique<ed::DirectoryService>(
+        orb, *replica1_host, replica1_server);
+    replica2_service = std::make_unique<ed::DirectoryService>(
+        orb, *replica2_host, replica2_server);
+    primary_service = std::make_unique<ed::ReplicatedDirectoryService>(
+        orb, *primary_host, primary_server,
+        std::vector<const en::Host*>{replica1_host, replica2_host});
+  }
+
+  ed::ReplicatedDirectoryClient make_client() {
+    return ed::ReplicatedDirectoryClient(
+        orb, *client_host,
+        {primary_host, replica1_host, replica2_host});
+  }
+
+  ed::Entry entry(const std::string& dn_text) {
+    auto dn = ed::Dn::parse(dn_text);
+    EXPECT_TRUE(dn.ok());
+    ed::Entry e(*dn);
+    e.add("objectclass", "thing");
+    return e;
+  }
+};
+
+}  // namespace
+
+TEST(ReplicatedDirectory, WritesPropagateToAllReplicas) {
+  ReplWorld w;
+  auto client = w.make_client();
+  bool added = false;
+  client.add(w.entry("lc=co2,o=grid"), /*ensure=*/true, [&](ec::Status st) {
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+    added = true;
+  });
+  w.sim.run();
+  ASSERT_TRUE(added);
+  const auto dn = *ed::Dn::parse("lc=co2,o=grid");
+  EXPECT_TRUE(w.primary_server->exists(dn));
+  EXPECT_TRUE(w.replica1_server->exists(dn));
+  EXPECT_TRUE(w.replica2_server->exists(dn));
+  EXPECT_EQ(w.primary_service->writes_forwarded(), 2u);  // 1 op x 2 replicas
+}
+
+TEST(ReplicatedDirectory, ModifyAndRemovePropagate) {
+  ReplWorld w;
+  auto client = w.make_client();
+  client.add(w.entry("lc=co2,o=grid"), true, [](ec::Status) {});
+  w.sim.run();
+  client.modify(*ed::Dn::parse("lc=co2,o=grid"),
+                {{ed::ModOp::Kind::add, "filename", "jan.ncx"}},
+                [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+  w.sim.run();
+  auto on_replica = w.replica1_server->lookup(*ed::Dn::parse("lc=co2,o=grid"));
+  ASSERT_TRUE(on_replica.ok());
+  EXPECT_EQ(on_replica->get("filename"), "jan.ncx");
+
+  client.remove(*ed::Dn::parse("lc=co2,o=grid"), false,
+                [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+  w.sim.run();
+  EXPECT_FALSE(w.replica2_server->exists(*ed::Dn::parse("lc=co2,o=grid")));
+}
+
+TEST(ReplicatedDirectory, FailedWritesAreNotForwarded) {
+  ReplWorld w;
+  auto client = w.make_client();
+  // Adding with a missing parent (no ensure) fails on the primary and must
+  // not be pushed to replicas.
+  bool failed = false;
+  client.add(w.entry("lf=f,lc=missing,o=grid"), /*ensure=*/false,
+             [&](ec::Status st) {
+               failed = !st.ok();
+             });
+  w.sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(w.primary_service->writes_forwarded(), 0u);
+  EXPECT_EQ(w.replica1_server->size(), 0u);
+}
+
+TEST(ReplicatedDirectory, ReadsFailOverWhenPrimaryDies) {
+  ReplWorld w;
+  auto client = w.make_client();
+  client.add(w.entry("lc=co2,o=grid"), true, [](ec::Status) {});
+  w.sim.run();
+
+  w.net.set_host_down(*w.primary_host, true);
+  bool found = false;
+  client.lookup(*ed::Dn::parse("lc=co2,o=grid"),
+                [&](ec::Result<ed::Entry> r) {
+                  ASSERT_TRUE(r.ok()) << r.error().to_string();
+                  found = true;
+                });
+  // The failover pays the primary's RPC timeout first.
+  w.sim.run_until(w.sim.now() + 120 * kSecond);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(client.last_read_server(), 1u);  // answered by replica1
+}
+
+TEST(ReplicatedDirectory, SearchFailsOverPastTwoDeadServers) {
+  ReplWorld w;
+  auto client = w.make_client();
+  client.add(w.entry("lc=co2,o=grid"), true, [](ec::Status) {});
+  w.sim.run();
+  w.net.set_host_down(*w.primary_host, true);
+  w.net.set_host_down(*w.replica1_host, true);
+  bool found = false;
+  client.search(*ed::Dn::parse("o=grid"), ed::Scope::sub, "(objectclass=*)",
+                [&](ec::Result<std::vector<ed::Entry>> r) {
+                  ASSERT_TRUE(r.ok());
+                  EXPECT_EQ(r->size(), 2u);  // o=grid scaffold + lc=co2
+                  found = true;
+                });
+  w.sim.run_until(w.sim.now() + 240 * kSecond);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(client.last_read_server(), 2u);
+}
+
+TEST(ReplicatedDirectory, AllServersDeadReportsUnavailable) {
+  ReplWorld w;
+  auto client = w.make_client();
+  for (auto* h : {w.primary_host, w.replica1_host, w.replica2_host}) {
+    w.net.set_host_down(*h, true);
+  }
+  bool done = false;
+  client.lookup(*ed::Dn::parse("o=grid"), [&](ec::Result<ed::Entry> r) {
+    done = true;
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ec::Errc::unavailable);
+  });
+  w.sim.run_until(w.sim.now() + 300 * kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST(ReplicatedDirectory, WritesRequireThePrimary) {
+  ReplWorld w;
+  auto client = w.make_client();
+  w.net.set_host_down(*w.primary_host, true);
+  bool done = false;
+  client.add(w.entry("lc=x,o=grid"), true, [&](ec::Status st) {
+    done = true;
+    EXPECT_FALSE(st.ok());  // single-master: no write failover
+  });
+  w.sim.run_until(w.sim.now() + 120 * kSecond);
+  EXPECT_TRUE(done);
+}

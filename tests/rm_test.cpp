@@ -1,0 +1,426 @@
+// Request-manager integration tests: the paper's five worker steps, NWS-
+// driven replica selection, HRM staging, alternate-replica failover, the
+// concurrency structure, and the Figure 4 monitor.
+#include <gtest/gtest.h>
+
+#include "grid_fixture.hpp"
+#include "hrm/hrm.hpp"
+#include "rm/request_manager.hpp"
+
+namespace erm = esg::rm;
+namespace ec = esg::common;
+namespace est = esg::storage;
+using ec::kMillisecond;
+using ec::kSecond;
+using ec::mbps;
+using esg::testing::MiniGrid;
+
+namespace {
+
+// A grid with two replica sites (lbnl fast, isi slow per MDS), a catalog
+// with one collection, and a request manager at the client.
+struct RmWorld {
+  MiniGrid grid{{"lbnl", "isi"}};
+  esg::replica::ReplicaCatalog catalog = grid.make_catalog();
+  erm::TransferMonitor monitor;
+  std::unique_ptr<erm::RequestManager> rm;
+
+  RmWorld() {
+    rm = std::make_unique<erm::RequestManager>(
+        grid.orb, *grid.client_host, grid.make_catalog(),
+        grid.make_mds_client(), *grid.client, &monitor);
+    seed_catalog();
+    seed_mds(mbps(90), mbps(30));
+  }
+
+  void seed_catalog() {
+    catalog.create_catalog([](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    catalog.create_collection("co2-1998",
+                              [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    for (const char* f : {"jan.ncx", "feb.ncx", "mar.ncx", "apr.ncx"}) {
+      catalog.register_logical_file("co2-1998", {f, 20'000'000},
+                                    [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    }
+    esg::replica::LocationInfo lbnl;
+    lbnl.name = "lbnl-disk";
+    lbnl.hostname = "lbnl.host";
+    lbnl.path = "co2";
+    lbnl.files = {"jan.ncx", "feb.ncx", "mar.ncx", "apr.ncx"};
+    esg::replica::LocationInfo isi;
+    isi.name = "isi-disk";
+    isi.hostname = "isi.host";
+    isi.path = "co2";
+    isi.files = {"jan.ncx", "feb.ncx", "mar.ncx", "apr.ncx"};
+    catalog.register_location("co2-1998", lbnl,
+                              [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    catalog.register_location("co2-1998", isi,
+                              [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    for (const char* host : {"lbnl.host", "isi.host"}) {
+      auto* server = grid.servers.at(host).get();
+      for (const char* f : {"jan.ncx", "feb.ncx", "mar.ncx", "apr.ncx"}) {
+        ASSERT_TRUE(server->storage()
+                        .put(est::FileObject::synthetic(
+                            std::string("co2/") + f, 20'000'000))
+                        .ok());
+      }
+    }
+    grid.sim.run();
+  }
+
+  void seed_mds(ec::Rate lbnl_bw, ec::Rate isi_bw) {
+    auto mds = grid.make_mds_client();
+    esg::mds::NetworkRecord a;
+    a.src_host = "lbnl.host";
+    a.dst_host = "client";
+    a.bandwidth = lbnl_bw;
+    a.latency = 10 * kMillisecond;
+    esg::mds::NetworkRecord b = a;
+    b.src_host = "isi.host";
+    b.bandwidth = isi_bw;
+    mds.publish_network(a, [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    mds.publish_network(b, [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+    grid.sim.run();
+  }
+
+  erm::RequestOptions options() {
+    erm::RequestOptions o;
+    o.transfer.buffer_size = 4 * ec::kMiB;
+    o.transfer.parallelism = 2;
+    o.reliability.retry_backoff = 2 * kSecond;
+    return o;
+  }
+};
+
+}  // namespace
+
+TEST(RequestManager, SingleFileFetchLandsLocally) {
+  RmWorld w;
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}}, w.options(),
+               [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+                 ASSERT_EQ(r.files.size(), 1u);
+                 const auto& f = r.files[0];
+                 EXPECT_EQ(f.bytes, 20'000'000);
+                 EXPECT_EQ(f.size, 20'000'000);
+                 EXPECT_EQ(f.local_name, "cache/jan.ncx");
+                 EXPECT_FALSE(f.staged_from_tape);
+                 done = true;
+               });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(w.grid.client->local_storage().size_of("cache/jan.ncx").value_or(0),
+            20'000'000);
+}
+
+TEST(RequestManager, SelectsHighestForecastReplica) {
+  RmWorld w;  // lbnl 90 Mb/s vs isi 30 Mb/s
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}}, w.options(),
+               [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 EXPECT_EQ(r.files[0].chosen_host, "lbnl.host");
+                 EXPECT_NEAR(r.files[0].forecast_bandwidth, mbps(90), 1.0);
+                 done = true;
+               });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RequestManager, SelectionFlipsWithForecasts) {
+  RmWorld w;
+  w.seed_mds(mbps(10), mbps(80));  // now isi wins
+  bool done = false;
+  w.rm->submit({{"co2-1998", "feb.ncx"}}, w.options(),
+               [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 EXPECT_EQ(r.files[0].chosen_host, "isi.host");
+                 done = true;
+               });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RequestManager, MultiFileRequestRunsConcurrently) {
+  RmWorld w;
+  bool done = false;
+  const auto t0 = w.grid.sim.now();
+  w.rm->submit({{"co2-1998", "jan.ncx"},
+                {"co2-1998", "feb.ncx"},
+                {"co2-1998", "mar.ncx"},
+                {"co2-1998", "apr.ncx"}},
+               w.options(), [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 EXPECT_EQ(r.files.size(), 4u);
+                 EXPECT_EQ(r.total_bytes, 80'000'000);
+                 done = true;
+               });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  // 80 MB over a shared ~12.5 MB/s uplink is ~6.4 s of pure data; transfers
+  // overlapping means total time well under 4 sequential transfers.
+  const double elapsed = ec::to_seconds(w.grid.sim.now() - t0);
+  EXPECT_LT(elapsed, 12.0);
+  EXPECT_GT(elapsed, 6.0);
+}
+
+TEST(RequestManager, ConcurrencyLimitSerializes) {
+  RmWorld w;
+  auto opts = w.options();
+  opts.max_concurrent = 1;
+  bool done = false;
+  const auto t0 = w.grid.sim.now();
+  w.rm->submit({{"co2-1998", "jan.ncx"}, {"co2-1998", "feb.ncx"}}, opts,
+               [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 done = true;
+               });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  const double serial = ec::to_seconds(w.grid.sim.now() - t0);
+  // Two 20 MB files sequentially at ~11 MB/s effective: > 3 s.
+  EXPECT_GT(serial, 3.2);
+}
+
+TEST(RequestManager, FailsOverToAlternateReplicaWhenHostDies) {
+  RmWorld w;
+  auto opts = w.options();
+  opts.transfer.stall_timeout = 4 * kSecond;
+  // Kill the preferred (lbnl) server shortly after the transfer starts.
+  w.grid.sim.schedule_at(
+      kSecond, [&] {
+        w.grid.net.set_host_down(*w.grid.net.find_host("lbnl.host"), true);
+      });
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}}, opts, [&](erm::RequestResult r) {
+    ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+    const auto& f = r.files[0];
+    EXPECT_GE(f.attempts, 2);
+    EXPECT_EQ(f.bytes, 20'000'000);
+    done = true;
+  });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(w.grid.client->local_storage().size_of("cache/jan.ncx").value_or(0),
+            20'000'000);
+}
+
+TEST(RequestManager, ServesMultipleUsersConcurrently) {
+  // Paper §4: the RM controls "multiple file transfers on behalf of
+  // multiple users concurrently" — two overlapping submits must both
+  // complete, with interleaved execution.
+  RmWorld w;
+  bool user1_done = false, user2_done = false;
+  ec::SimTime done1 = 0, done2 = 0;
+  w.rm->submit({{"co2-1998", "jan.ncx"}, {"co2-1998", "feb.ncx"}},
+               w.options(), [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 user1_done = true;
+                 done1 = w.grid.sim.now();
+               });
+  w.rm->submit({{"co2-1998", "mar.ncx"}, {"co2-1998", "apr.ncx"}},
+               w.options(), [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok());
+                 user2_done = true;
+                 done2 = w.grid.sim.now();
+               });
+  w.grid.sim.run();
+  ASSERT_TRUE(user1_done);
+  ASSERT_TRUE(user2_done);
+  // Interleaved, not serialized: the second request finished within ~1.5x
+  // of the first, far sooner than "after it".
+  const double ratio = ec::to_seconds(done2) / ec::to_seconds(done1);
+  EXPECT_LT(ratio, 1.6);
+  // All four files landed.
+  for (const char* f : {"jan.ncx", "feb.ncx", "mar.ncx", "apr.ncx"}) {
+    EXPECT_TRUE(w.grid.client->local_storage().exists(
+        std::string("cache/") + f))
+        << f;
+  }
+}
+
+TEST(RequestManager, MissingFileReportsFailure) {
+  RmWorld w;
+  bool done = false;
+  w.rm->submit({{"co2-1998", "ghost.ncx"}}, w.options(),
+               [&](erm::RequestResult r) {
+                 done = true;
+                 EXPECT_FALSE(r.status.ok());
+                 ASSERT_EQ(r.files.size(), 1u);
+                 EXPECT_FALSE(r.files[0].status.ok());
+               });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RequestManager, MixedSuccessAndFailure) {
+  RmWorld w;
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}, {"co2-1998", "ghost.ncx"}},
+               w.options(), [&](erm::RequestResult r) {
+                 done = true;
+                 EXPECT_FALSE(r.status.ok());
+                 EXPECT_TRUE(r.files[0].status.ok());
+                 EXPECT_FALSE(r.files[1].status.ok());
+                 EXPECT_EQ(r.total_bytes, 20'000'000);
+               });
+  w.grid.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RequestManager, StagesFromTapeWhenReplicaIsMss) {
+  RmWorld w;
+  // Add an MSS location at lbnl: a second host fronted by HRM, holding a
+  // file that exists nowhere else.
+  auto* mss_server = w.grid.add_server("hpss.lbl.gov", "lbnl");
+  esg::hrm::HrmConfig hcfg;
+  hcfg.tape.drives = 1;
+  hcfg.tape.mount_time = 20 * kSecond;
+  hcfg.tape.avg_seek = 10 * kSecond;
+  hcfg.tape.read_rate = 20'000'000;
+  esg::hrm::HrmService hrm(w.grid.orb, mss_server->host(),
+                           mss_server->storage_ptr(), hcfg);
+  hrm.archive(est::FileObject::synthetic("archive/deep.ncx", 20'000'000));
+
+  w.catalog.register_logical_file("co2-1998", {"deep.ncx", 20'000'000},
+                                  [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+  esg::replica::LocationInfo mss;
+  mss.name = "lbnl-hpss";
+  mss.hostname = "hpss.lbl.gov";
+  mss.path = "archive";
+  mss.files = {"deep.ncx"};
+  mss.storage_type = "mss";
+  w.catalog.register_location("co2-1998", mss,
+                              [](ec::Status st) { ASSERT_TRUE(st.ok()); });
+  w.grid.sim.run();
+
+  const auto t0 = w.grid.sim.now();
+  bool done = false;
+  w.rm->submit({{"co2-1998", "deep.ncx"}}, w.options(),
+               [&](erm::RequestResult r) {
+                 ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+                 EXPECT_TRUE(r.files[0].staged_from_tape);
+                 EXPECT_EQ(r.files[0].bytes, 20'000'000);
+                 done = true;
+               });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  // Tape costs dominate: mount 20 + seek 10 + read 1 = 31 s minimum.
+  EXPECT_GT(ec::to_seconds(w.grid.sim.now() - t0), 31.0);
+  // The pin was released after the transfer.
+  EXPECT_EQ(hrm.cache().pin_count("archive/deep.ncx"), 0);
+}
+
+TEST(RequestManager, ScalesToHundredsOfFiles) {
+  // Paper §3: "A single dataset may consist of thousands of individual
+  // data files."  Register 400 logical files at two sites and pull 150 of
+  // them through the RM's bounded worker pool in one request.
+  RmWorld w;
+  constexpr int kCatalogFiles = 400;
+  constexpr int kFetched = 150;
+  int registered = 0;
+  for (int i = 0; i < kCatalogFiles; ++i) {
+    const std::string name = "bulk." + std::to_string(i) + ".ncx";
+    w.catalog.register_logical_file("co2-1998", {name, 400'000},
+                                    [&](ec::Status st) {
+                                      ASSERT_TRUE(st.ok());
+                                      ++registered;
+                                    });
+    for (const char* host : {"lbnl.host", "isi.host"}) {
+      w.catalog.add_file_to_location("co2-1998",
+                                     host == std::string("lbnl.host")
+                                         ? "lbnl-disk"
+                                         : "isi-disk",
+                                     name, [](ec::Status) {});
+      ASSERT_TRUE(w.grid.servers.at(host)
+                      ->storage()
+                      .put(est::FileObject::synthetic("co2/" + name, 400'000))
+                      .ok());
+    }
+  }
+  w.grid.sim.run();
+  ASSERT_EQ(registered, kCatalogFiles);
+
+  std::vector<erm::FileRequest> wanted;
+  for (int i = 0; i < kFetched; ++i) {
+    wanted.push_back({"co2-1998", "bulk." + std::to_string(i) + ".ncx"});
+  }
+  auto opts = w.options();
+  opts.max_concurrent = 16;
+  bool done = false;
+  w.rm->submit(wanted, opts, [&](erm::RequestResult r) {
+    done = true;
+    ASSERT_TRUE(r.status.ok()) << r.status.error().to_string();
+    EXPECT_EQ(r.files.size(), static_cast<std::size_t>(kFetched));
+    EXPECT_EQ(r.total_bytes, ec::Bytes{kFetched} * 400'000);
+  });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(w.monitor.files_complete(), static_cast<std::size_t>(kFetched));
+}
+
+// ---------- monitor ----------
+
+TEST(Monitor, RecordsLifecycleAndRenders) {
+  RmWorld w;
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}, {"co2-1998", "feb.ncx"}},
+               w.options(), [&](erm::RequestResult) { done = true; });
+  w.grid.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(w.monitor.all_terminal());
+  EXPECT_EQ(w.monitor.files_total(), 2u);
+  EXPECT_EQ(w.monitor.files_complete(), 2u);
+  EXPECT_EQ(w.monitor.total_bytes(), 40'000'000);
+
+  const std::string frame = w.monitor.render(w.grid.sim.now());
+  EXPECT_NE(frame.find("jan.ncx"), std::string::npos);
+  EXPECT_NE(frame.find("100%"), std::string::npos);
+  EXPECT_NE(frame.find("replica selections"), std::string::npos);
+  EXPECT_NE(frame.find("lbnl.host"), std::string::npos);
+
+  // The log tells the Figure 4 story: queued -> selected -> started -> done.
+  bool saw_selected = false, saw_started = false, saw_completed = false;
+  for (const auto& line : w.monitor.log()) {
+    saw_selected |= line.find("selected replica") != std::string::npos;
+    saw_started |= line.find("transfer of") != std::string::npos;
+    saw_completed |= line.find("completed") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_selected);
+  EXPECT_TRUE(saw_started);
+  EXPECT_TRUE(saw_completed);
+}
+
+TEST(Monitor, ProgressPollingObservesPartialSizes) {
+  RmWorld w;
+  std::vector<ec::Bytes> observed;
+  // Sample the monitor's view of jan.ncx mid-transfer, faster than the
+  // ~1.6 s the 20 MB transfer takes.
+  w.grid.sim.schedule_every(250 * kMillisecond, [&] {
+    observed.push_back(w.monitor.total_bytes());
+    return observed.size() < 100;
+  });
+  auto opts = w.options();
+  opts.poll_interval = 500 * kMillisecond;
+  bool done = false;
+  w.rm->submit({{"co2-1998", "jan.ncx"}}, opts,
+               [&](erm::RequestResult) { done = true; });
+  w.grid.sim.run_until(30 * kSecond);
+  ASSERT_TRUE(done);
+  // Strictly intermediate values appear (not only 0 and full size).
+  bool saw_partial = false;
+  for (ec::Bytes b : observed) {
+    if (b > 0 && b < 20'000'000) saw_partial = true;
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST(Monitor, FailureShowsInDisplay) {
+  erm::TransferMonitor m;
+  m.file_queued("x.ncx", 1000, 0);
+  m.transfer_failed("x.ncx", "timed_out: no progress", kSecond);
+  EXPECT_TRUE(m.all_terminal());
+  EXPECT_EQ(m.files_complete(), 0u);
+  const auto frame = m.render(2 * kSecond);
+  EXPECT_NE(frame.find("FAILED"), std::string::npos);
+}

@@ -1,0 +1,204 @@
+// Tests for the RPC layer: dispatch, latency accounting, deferred replies,
+// and failure behaviour (down hosts, down services, unknown services).
+#include <gtest/gtest.h>
+
+#include "common/bytebuf.hpp"
+#include "net/topology.hpp"
+#include "rpc/orb.hpp"
+#include "sim/simulation.hpp"
+
+namespace en = esg::net;
+namespace es = esg::sim;
+namespace ec = esg::common;
+namespace er = esg::rpc;
+
+using ec::kMillisecond;
+using ec::kSecond;
+
+namespace {
+
+struct RpcWorld {
+  es::Simulation sim;
+  en::Network net{sim};
+  er::Orb orb{net};
+  en::Host* client = nullptr;
+  en::Host* server = nullptr;
+
+  RpcWorld() {
+    net.add_site("west");
+    net.add_site("east");
+    net.add_link({.name = "wan", .site_a = "west", .site_b = "east",
+                  .capacity = ec::mbps(100), .latency = 15 * kMillisecond});
+    client = net.add_host({.name = "client", .site = "west"});
+    server = net.add_host({.name = "server", .site = "east"});
+  }
+};
+
+er::Payload make_payload(const std::string& s) {
+  ec::ByteWriter w;
+  w.str(s);
+  return w.take();
+}
+
+std::string read_payload(const er::Payload& p) {
+  ec::ByteReader r(p);
+  return r.str().value_or("<bad>");
+}
+
+}  // namespace
+
+TEST(Rpc, EchoCallRoundTrips) {
+  RpcWorld w;
+  w.orb.register_service(*w.server, "echo",
+                         [](const std::string& method, er::Payload req,
+                            er::Reply reply) {
+                           EXPECT_EQ(method, "ping");
+                           reply(std::move(req));
+                         });
+  std::string got;
+  ec::SimTime at = 0;
+  w.orb.call(*w.client, *w.server, "echo", "ping", make_payload("hello"),
+             [&](ec::Result<er::Payload> r) {
+               ASSERT_TRUE(r.ok());
+               got = read_payload(*r);
+               at = w.sim.now();
+             });
+  w.sim.run();
+  EXPECT_EQ(got, "hello");
+  // One round trip at 15 ms each way, plus overheads.
+  EXPECT_GE(at, 30 * kMillisecond);
+  EXPECT_LT(at, 40 * kMillisecond);
+}
+
+TEST(Rpc, UnknownServiceIsUnavailable) {
+  RpcWorld w;
+  bool called = false;
+  w.orb.call(*w.client, *w.server, "nope", "m", {},
+             [&](ec::Result<er::Payload> r) {
+               called = true;
+               ASSERT_FALSE(r.ok());
+               EXPECT_EQ(r.error().code, ec::Errc::unavailable);
+             });
+  w.sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(Rpc, DownServiceTimesOut) {
+  RpcWorld w;
+  w.orb.register_service(*w.server, "svc",
+                         [](const std::string&, er::Payload, er::Reply reply) {
+                           reply(er::Payload{});
+                         });
+  w.orb.set_service_down(*w.server, "svc", true);
+  bool called = false;
+  ec::SimTime at = 0;
+  w.orb.call(*w.client, *w.server, "svc", "m", {},
+             [&](ec::Result<er::Payload> r) {
+               called = true;
+               at = w.sim.now();
+               ASSERT_FALSE(r.ok());
+               EXPECT_EQ(r.error().code, ec::Errc::timed_out);
+             },
+             5 * kSecond);
+  w.sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(at, 5 * kSecond);
+}
+
+TEST(Rpc, DownHostTimesOut) {
+  RpcWorld w;
+  w.orb.register_service(*w.server, "svc",
+                         [](const std::string&, er::Payload, er::Reply reply) {
+                           reply(er::Payload{});
+                         });
+  w.net.set_host_down(*w.server, true);
+  bool timed_out = false;
+  w.orb.call(*w.client, *w.server, "svc", "m", {},
+             [&](ec::Result<er::Payload> r) {
+               timed_out = !r.ok() && r.error().code == ec::Errc::timed_out;
+             },
+             3 * kSecond);
+  w.sim.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Rpc, DeferredReplyArrivesLater) {
+  RpcWorld w;
+  // The handler replies after 10 simulated seconds (tape staging style).
+  w.orb.register_service(
+      *w.server, "hrm",
+      [&w](const std::string&, er::Payload, er::Reply reply) {
+        w.sim.schedule_after(10 * kSecond, [reply = std::move(reply)] {
+          reply(make_payload("staged"));
+        });
+      });
+  std::string got;
+  ec::SimTime at = 0;
+  w.orb.call(*w.client, *w.server, "hrm", "stage", {},
+             [&](ec::Result<er::Payload> r) {
+               ASSERT_TRUE(r.ok());
+               got = read_payload(*r);
+               at = w.sim.now();
+             },
+             60 * kSecond);
+  w.sim.run();
+  EXPECT_EQ(got, "staged");
+  EXPECT_GT(at, 10 * kSecond);
+}
+
+TEST(Rpc, LateReplyDiscardedAfterTimeout) {
+  RpcWorld w;
+  w.orb.register_service(
+      *w.server, "slow",
+      [&w](const std::string&, er::Payload, er::Reply reply) {
+        w.sim.schedule_after(20 * kSecond, [reply = std::move(reply)] {
+          reply(make_payload("too late"));
+        });
+      });
+  int calls = 0;
+  bool timed_out = false;
+  w.orb.call(*w.client, *w.server, "slow", "m", {},
+             [&](ec::Result<er::Payload> r) {
+               ++calls;
+               timed_out = !r.ok() && r.error().code == ec::Errc::timed_out;
+             },
+             5 * kSecond);
+  w.sim.run();
+  EXPECT_EQ(calls, 1);  // exactly once, the timeout
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Rpc, ServiceAvailabilityReflectsState) {
+  RpcWorld w;
+  EXPECT_FALSE(w.orb.service_available(*w.server, "svc"));
+  w.orb.register_service(*w.server, "svc",
+                         [](const std::string&, er::Payload, er::Reply) {});
+  EXPECT_TRUE(w.orb.service_available(*w.server, "svc"));
+  w.orb.set_service_down(*w.server, "svc", true);
+  EXPECT_FALSE(w.orb.service_available(*w.server, "svc"));
+  w.orb.set_service_down(*w.server, "svc", false);
+  w.net.set_host_down(*w.server, true);
+  EXPECT_FALSE(w.orb.service_available(*w.server, "svc"));
+  w.net.set_host_down(*w.server, false);
+  w.orb.unregister_service(*w.server, "svc");
+  EXPECT_FALSE(w.orb.service_available(*w.server, "svc"));
+}
+
+TEST(Rpc, ConcurrentCallsAllComplete) {
+  RpcWorld w;
+  w.orb.register_service(*w.server, "echo",
+                         [](const std::string&, er::Payload req,
+                            er::Reply reply) { reply(std::move(req)); });
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    w.orb.call(*w.client, *w.server, "echo", "m",
+               make_payload(std::to_string(i)),
+               [&completed, i](ec::Result<er::Payload> r) {
+                 ASSERT_TRUE(r.ok());
+                 EXPECT_EQ(read_payload(*r), std::to_string(i));
+                 ++completed;
+               });
+  }
+  w.sim.run();
+  EXPECT_EQ(completed, 20);
+}

@@ -1,0 +1,140 @@
+// Tests for the toy GSI: issuing, proxy delegation, chain verification,
+// grid-mapfile authorization, and handshake cost accounting.
+#include <gtest/gtest.h>
+
+#include "security/gsi.hpp"
+
+namespace eg = esg::security;
+namespace ec = esg::common;
+
+using ec::kHour;
+using ec::kMillisecond;
+
+namespace {
+
+eg::CertificateAuthority make_ca() {
+  return eg::CertificateAuthority("/O=Grid/CN=ESG CA");
+}
+
+}  // namespace
+
+TEST(Gsi, IssueAndVerifyIdentity) {
+  auto ca = make_ca();
+  auto cred = ca.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  EXPECT_TRUE(ca.verify_chain({cred.cert}, kHour).ok());
+}
+
+TEST(Gsi, ExpiredCertificateRejected) {
+  auto ca = make_ca();
+  auto cred = ca.issue("/O=Grid/CN=dean", 0, kHour);
+  auto st = ca.verify_chain({cred.cert}, 2 * kHour);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ec::Errc::auth_failed);
+}
+
+TEST(Gsi, NotYetValidRejected) {
+  auto ca = make_ca();
+  auto cred = ca.issue("/O=Grid/CN=dean", kHour, kHour);
+  EXPECT_FALSE(ca.verify_chain({cred.cert}, 0).ok());
+}
+
+TEST(Gsi, TamperedCertificateRejected) {
+  auto ca = make_ca();
+  auto cred = ca.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  cred.cert.subject = "/O=Grid/CN=mallory";
+  EXPECT_FALSE(ca.verify_chain({cred.cert}, kHour).ok());
+}
+
+TEST(Gsi, WrongCaRejected) {
+  auto ca = make_ca();
+  eg::CertificateAuthority other("/O=Grid/CN=Other CA", 0xdead);
+  auto cred = other.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  EXPECT_FALSE(ca.verify_chain({cred.cert}, kHour).ok());
+}
+
+TEST(Gsi, ProxyChainVerifies) {
+  auto ca = make_ca();
+  auto identity = ca.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  auto proxy = identity.delegate(kHour, 2 * kHour);
+  EXPECT_TRUE(proxy.cert.is_proxy);
+  EXPECT_EQ(proxy.cert.issuer, identity.cert.subject);
+  EXPECT_TRUE(
+      ca.verify_chain({proxy.cert, identity.cert}, kHour + kMillisecond).ok());
+}
+
+TEST(Gsi, SecondLevelProxyVerifies) {
+  auto ca = make_ca();
+  auto identity = ca.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  auto p1 = identity.delegate(0, 12 * kHour);
+  auto p2 = p1.delegate(0, 6 * kHour);
+  EXPECT_TRUE(
+      ca.verify_chain({p2.cert, p1.cert, identity.cert}, kHour).ok());
+}
+
+TEST(Gsi, ProxyCannotOutliveParent) {
+  auto ca = make_ca();
+  auto identity = ca.issue("/O=Grid/CN=dean", 0, 2 * kHour);
+  auto proxy = identity.delegate(kHour, 100 * kHour);
+  // delegate() clamps to the parent's expiry.
+  EXPECT_EQ(proxy.cert.not_after, identity.cert.not_after);
+}
+
+TEST(Gsi, ForgedProxyChainRejected) {
+  auto ca = make_ca();
+  auto identity = ca.issue("/O=Grid/CN=dean", 0, 24 * kHour);
+  auto proxy = identity.delegate(0, 2 * kHour);
+  proxy.cert.subject = "/O=Grid/CN=mallory/CN=proxy";
+  EXPECT_FALSE(ca.verify_chain({proxy.cert, identity.cert}, kHour).ok());
+}
+
+TEST(Gsi, BrokenLinkageRejected) {
+  auto ca = make_ca();
+  auto a = ca.issue("/O=Grid/CN=alice", 0, 24 * kHour);
+  auto b = ca.issue("/O=Grid/CN=bob", 0, 24 * kHour);
+  auto proxy = a.delegate(0, 2 * kHour);
+  // Proxy of alice presented over bob's identity.
+  EXPECT_FALSE(ca.verify_chain({proxy.cert, b.cert}, kHour).ok());
+}
+
+TEST(Gsi, EmptyChainRejected) {
+  auto ca = make_ca();
+  EXPECT_FALSE(ca.verify_chain({}, 0).ok());
+}
+
+TEST(Wallet, ChainOrderAndProxyPush) {
+  auto ca = make_ca();
+  eg::CredentialWallet wallet;
+  wallet.set_identity(ca.issue("/O=Grid/CN=dean", 0, 24 * kHour));
+  wallet.push_proxy(0, 12 * kHour);
+  const auto chain = wallet.chain();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_TRUE(chain[0].is_proxy);      // active first
+  EXPECT_FALSE(chain[1].is_proxy);     // identity last
+  EXPECT_TRUE(ca.verify_chain(chain, kHour).ok());
+  EXPECT_EQ(wallet.active().cert.subject, "/O=Grid/CN=dean/CN=proxy");
+}
+
+TEST(GridMap, MapsBaseAndProxySubjects) {
+  eg::GridMapFile gm;
+  gm.add("/O=Grid/CN=dean", "dean");
+  auto direct = gm.map("/O=Grid/CN=dean");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*direct, "dean");
+  auto via_proxy = gm.map("/O=Grid/CN=dean/CN=proxy/CN=proxy");
+  ASSERT_TRUE(via_proxy.ok());
+  EXPECT_EQ(*via_proxy, "dean");
+}
+
+TEST(GridMap, UnknownSubjectDenied) {
+  eg::GridMapFile gm;
+  gm.add("/O=Grid/CN=dean", "dean");
+  auto st = gm.map("/O=Grid/CN=mallory");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ec::Errc::permission_denied);
+}
+
+TEST(Gsi, HandshakeCostScalesWithRtt) {
+  const auto rtt = 20 * kMillisecond;
+  EXPECT_EQ(eg::handshake_cost(rtt, false), 2 * rtt);
+  EXPECT_EQ(eg::handshake_cost(rtt, true), 3 * rtt);
+}

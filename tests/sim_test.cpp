@@ -1,0 +1,217 @@
+// Unit tests for the discrete-event kernel and failure scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/failure.hpp"
+#include "sim/simulation.hpp"
+
+namespace es = esg::sim;
+namespace ec = esg::common;
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  es::Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, TiesFireInScheduleOrder) {
+  es::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  es::Simulation sim;
+  ec::SimTime inner_fire = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { inner_fire = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fire, 75);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  es::Simulation sim;
+  bool fired = false;
+  auto h = sim.schedule_at(10, [&] { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulation, CancelDuringRunFromEarlierEvent) {
+  es::Simulation sim;
+  bool fired = false;
+  auto h = sim.schedule_at(20, [&] { fired = true; });
+  sim.schedule_at(10, [&] { h.cancel(); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, PeriodicRunsUntilFalse) {
+  es::Simulation sim;
+  int count = 0;
+  sim.schedule_every(10, [&] { return ++count < 5; });
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, PeriodicCancelStopsSeries) {
+  es::Simulation sim;
+  int count = 0;
+  auto h = sim.schedule_every(10, [&] {
+    ++count;
+    return true;
+  });
+  sim.schedule_at(35, [&] { h.cancel(); });
+  sim.run();
+  EXPECT_EQ(count, 3);  // fired at 10, 20, 30
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  es::Simulation sim;
+  int count = 0;
+  sim.schedule_every(10, [&] {
+    ++count;
+    return true;
+  });
+  sim.run_until(45);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 45);
+  sim.run_until(100);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeWithEmptyQueue) {
+  es::Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulation, RunWhilePendingStopsOnPredicate) {
+  es::Simulation sim;
+  int count = 0;
+  sim.schedule_every(10, [&] {
+    ++count;
+    return true;
+  });
+  const bool satisfied = sim.run_while_pending([&] { return count >= 3; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, DeterministicRngFromSeed) {
+  es::Simulation a(77), b(77);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  }
+}
+
+TEST(Simulation, LoggerCarriesSimTime) {
+  es::Simulation sim;
+  std::vector<std::string> lines;
+  ec::set_log_sink([&](const std::string& l) { lines.push_back(l); });
+  ec::set_global_log_level(ec::LogLevel::info);
+  auto log = sim.make_logger("kernel");
+  sim.schedule_at(2 * ec::kSecond + 500 * ec::kMillisecond,
+                  [&] { log.info("tick"); });
+  sim.run();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[2.500s]"), std::string::npos);
+  ec::set_global_log_level(ec::LogLevel::warn);
+  ec::set_log_sink(nullptr);
+}
+
+TEST(Simulation, HandleCopiesShareCancellation) {
+  es::Simulation sim;
+  bool fired = false;
+  auto h1 = sim.schedule_at(10, [&] { fired = true; });
+  es::EventHandle h2 = h1;  // copies share the cancellation flag
+  h2.cancel();
+  EXPECT_FALSE(h1.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, DefaultHandleIsInertNoop) {
+  es::EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be safe
+}
+
+TEST(Simulation, EventsFiredCounterAdvances) {
+  es::Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+// ---------- failure schedule ----------
+
+TEST(FailureSchedule, TogglesTargetDownAndUp) {
+  es::Simulation sim;
+  es::FailureSchedule sched;
+  sched.add("hscc-backbone", 100, 50, "backbone problems");
+
+  std::vector<std::pair<std::string, bool>> transitions;
+  sched.arm(sim, [&](const std::string& t, bool down, const std::string&) {
+    transitions.emplace_back(t, down);
+  });
+  sim.run();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(std::string("hscc-backbone"), true));
+  EXPECT_EQ(transitions[1], std::make_pair(std::string("hscc-backbone"), false));
+}
+
+TEST(FailureSchedule, OverlappingOutagesRefCount) {
+  es::Simulation sim;
+  es::FailureSchedule sched;
+  sched.add("link", 100, 100);  // [100, 200)
+  sched.add("link", 150, 100);  // [150, 250)
+
+  std::vector<std::pair<ec::SimTime, bool>> transitions;
+  sched.arm(sim, [&](const std::string&, bool down, const std::string&) {
+    transitions.emplace_back(sim.now(), down);
+  });
+  sim.run();
+  // Down once at 100, up once at 250 — not bounced at 200.
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(ec::SimTime{100}, true));
+  EXPECT_EQ(transitions[1], std::make_pair(ec::SimTime{250}, false));
+}
+
+TEST(FailureSchedule, IsDownQueriesIntervals) {
+  es::FailureSchedule sched;
+  sched.add("dns", 10, 20);
+  EXPECT_FALSE(sched.is_down("dns", 9));
+  EXPECT_TRUE(sched.is_down("dns", 10));
+  EXPECT_TRUE(sched.is_down("dns", 29));
+  EXPECT_FALSE(sched.is_down("dns", 30));
+  EXPECT_FALSE(sched.is_down("other", 15));
+}
+
+TEST(FailureSchedule, DistinctTargetsIndependent) {
+  es::Simulation sim;
+  es::FailureSchedule sched;
+  sched.add("a", 10, 10);
+  sched.add("b", 12, 10);
+  int a_events = 0, b_events = 0;
+  sched.arm(sim, [&](const std::string& t, bool, const std::string&) {
+    (t == "a" ? a_events : b_events)++;
+  });
+  sim.run();
+  EXPECT_EQ(a_events, 2);
+  EXPECT_EQ(b_events, 2);
+}
