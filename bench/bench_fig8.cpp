@@ -185,6 +185,8 @@ int main() {
        std::to_string(dead_minutes)},
   };
   bench::print_table(rows);
+  bench::write_bench_json("fig8", rows,
+                          world.sim.metrics().snapshot(world.sim.now()));
 
   bench::print_series(bench::coarsen(s.series(), kSecond, 5 * kMinute),
                       5 * kMinute, 100.0);

@@ -10,6 +10,8 @@
 
 #include "common/units.hpp"
 #include "gridftp/client.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace esg::bench {
@@ -107,6 +109,42 @@ inline void print_table(const std::vector<Row>& rows) {
   for (const auto& r : rows) {
     std::printf("%-*s | %-*s | %s\n", static_cast<int>(w0), r.metric.c_str(),
                 static_cast<int>(w1), r.paper.c_str(), r.measured.c_str());
+  }
+}
+
+/// Write BENCH_<name>.json: the paper-vs-measured rows plus the full obs
+/// metrics snapshot, so downstream tooling can diff runs without scraping
+/// the printed tables.
+inline void write_bench_json(const std::string& name,
+                             const std::vector<Row>& rows,
+                             const obs::MetricsSnapshot& snapshot) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::string out = "{\n  \"bench\": \"" + esc(name) + "\",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"metric\":\"" + esc(rows[i].metric) + "\",\"paper\":\"" +
+           esc(rows[i].paper) + "\",\"measured\":\"" + esc(rows[i].measured) +
+           "\"}";
+  }
+  out += "\n  ],\n  \"metrics\": " + obs::to_json(snapshot) + "\n}\n";
+  const std::string path = "BENCH_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu metric series)\n", path.c_str(),
+                snapshot.entries.size());
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "esg/client.hpp"
 #include "esg/testbed.hpp"
+#include "obs/export.hpp"
 
 using namespace esg;
 using common::kSecond;
@@ -89,8 +90,13 @@ int main() {
     const auto next = testbed.simulation().now() + 4 * kSecond;
     testbed.simulation().run_while_pending(
         [&] { return done || testbed.simulation().now() >= next; });
+    // Render from a registry snapshot so the frame carries the live
+    // queue-depth / cache / per-server byte counters (Fig 4 + metrics pane).
+    const auto snap = testbed.simulation().metrics().snapshot(
+        testbed.simulation().now());
     std::printf("\n%s",
-                testbed.monitor().render(testbed.simulation().now()).c_str());
+                testbed.monitor().render(testbed.simulation().now(),
+                                         snap).c_str());
     if (testbed.simulation().pending_events() == 0) break;
   }
 
@@ -106,5 +112,14 @@ int main() {
               common::format_bytes(result.total_bytes).c_str(),
               common::format_time(result.finished - result.started).c_str(),
               common::format_rate(result.aggregate_rate()).c_str());
+
+  // Prometheus-style dump of everything the run recorded.
+  const std::string prom = obs::to_prometheus_text(
+      testbed.simulation().metrics().snapshot(testbed.simulation().now()));
+  if (std::FILE* f = std::fopen("transfer_monitor_metrics.prom", "w")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+    std::printf("wrote transfer_monitor_metrics.prom\n");
+  }
   return 0;
 }

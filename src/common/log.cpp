@@ -13,14 +13,24 @@ std::atomic<LogLevel> g_level{LogLevel::warn};
 std::mutex g_sink_mutex;
 LogSink g_sink;  // guarded by g_sink_mutex
 
+// stderr writes get their own mutex so interleaved lines stay whole even
+// while another thread is busy inside a slow custom sink.
+std::mutex g_stderr_mutex;
+
 void emit(const std::string& line) {
-  std::scoped_lock lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(line);
-  } else {
-    std::fputs(line.c_str(), stderr);
-    std::fputc('\n', stderr);
+  LogSink sink;
+  {
+    std::scoped_lock lock(g_sink_mutex);
+    sink = g_sink;
   }
+  // Invoke outside the lock: a sink may log or call set_log_sink() itself.
+  if (sink) {
+    sink(line);
+    return;
+  }
+  std::scoped_lock lock(g_stderr_mutex);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
 }
 
 }  // namespace

@@ -5,6 +5,14 @@
 // on `info` to narrate what the prototype is doing.  When a logger is bound
 // to a simulation clock the simulated timestamp is printed, which is how the
 // Fig 4-style monitor annotates its event stream.
+//
+// Thread-safety: the global level is atomic and the sink is mutex-guarded,
+// so set_global_log_level()/set_log_sink() may race freely with logging from
+// the benchmark harness's worker threads.  A custom sink is invoked OUTSIDE
+// the internal mutex (a copy is taken under the lock), so a sink may itself
+// log or swap sinks without deadlocking — but it must be internally
+// thread-safe if loggers run on several threads.  bind_clock() is NOT
+// synchronized; bind a logger's clock before sharing it across threads.
 #pragma once
 
 #include <functional>

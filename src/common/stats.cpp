@@ -19,6 +19,23 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
 double OnlineStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
@@ -70,6 +87,9 @@ BandwidthSampler::BandwidthSampler(SimDuration bucket) : bucket_(bucket) {
 void BandwidthSampler::record(SimTime t, Bytes bytes) {
   if (bytes <= 0) return;
   if (buckets_.empty()) origin_ = (t / bucket_) * bucket_;
+  // Non-monotone callers (retried transfers replaying an old timestamp)
+  // land in the first bucket instead of underflowing the index.
+  t = std::max(t, origin_);
   const auto idx = static_cast<std::size_t>((t - origin_) / bucket_);
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   buckets_[idx] += bytes;

@@ -14,6 +14,9 @@ namespace esg::common {
 class OnlineStats {
  public:
   void add(double x);
+  /// Combine another accumulator's samples into this one (parallel-variance
+  /// combination); equivalent to having add()ed the other's samples here.
+  void merge(const OnlineStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // sample variance

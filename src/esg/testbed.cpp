@@ -101,6 +101,7 @@ void EsgTestbed::build_services() {
       orb_, *client_host_, std::make_shared<storage::HostStorage>(),
       std::move(wallet), registry_);
 
+  monitor_.bind_registry(&sim_.metrics());
   rm_ = std::make_unique<rm::RequestManager>(
       orb_, *client_host_, make_replica_catalog(), make_mds_client(),
       *ftp_client_, &monitor_);

@@ -40,6 +40,8 @@ struct GridFtpClient::Op : TransferHandle,
   bool warm = false;
   bool finished = false;
   bool aborted_ = false;
+  obs::Span span;                              // whole op (RETR -> done)
+  obs::Counter* channel_bytes = nullptr;       // per-server byte counter
 
   // ---- TransferHandle ----
   void abort() override {
@@ -47,6 +49,8 @@ struct GridFtpClient::Op : TransferHandle,
     aborted_ = true;
     if (tcp) attempt_bytes = tcp->cancel();
     finished = true;
+    span.set_attr("status", "aborted");
+    span.end();
   }
   Bytes delivered() const override {
     if (tcp && tcp->active()) return tcp->delivered();
@@ -64,6 +68,9 @@ struct GridFtpClient::Op : TransferHandle,
     result.bytes_transferred = attempt_bytes;
     result.finished = sim().now();
     ++client->stats_.transfers_failed;
+    client->metric_failed_->add();
+    span.set_attr("status", result.status.error().to_string());
+    span.end();
     // A dead server invalidates both the session and the warm channel.
     const net::Host* peer = kind == Kind::put ? dst_host : src_host;
     if (peer != nullptr) {
@@ -86,6 +93,10 @@ struct GridFtpClient::Op : TransferHandle,
     result.finished = sim().now();
     ++client->stats_.transfers_completed;
     client->stats_.bytes_received += attempt_bytes;
+    client->metric_completed_->add();
+    span.set_attr("status", "ok");
+    span.set_attr("bytes", std::to_string(attempt_bytes));
+    span.end();
     client->warm_channels_[server_key()] =
         WarmChannel{sim().now(), options.parallelism};
     if (done_cb) done_cb(std::move(result));
@@ -99,6 +110,13 @@ struct GridFtpClient::Op : TransferHandle,
   void start() {
     result.started = sim().now();
     ++client->stats_.transfers_started;
+    client->metric_started_->add();
+    const char* name = kind == Kind::get   ? "gridftp.get"
+                       : kind == Kind::put ? "gridftp.put"
+                                           : "gridftp.3pc";
+    span = sim().tracer().span(name, "gridftp", options.obs_track);
+    span.set_attr("server", server_key());
+    span.set_attr("path", kind == Kind::put ? dst_path : src_path);
     const net::Host& control_peer =
         kind == Kind::put ? *dst_host : *src_host;
     auto self = shared_from_this();
@@ -199,9 +217,14 @@ struct GridFtpClient::Op : TransferHandle,
            client->channel_is_warm(server_key(), options.parallelism);
     if (warm) {
       ++client->stats_.channels_reused;
+      client->metric_channels_reused_->add();
     } else {
       ++client->stats_.data_channel_setups;
+      client->metric_channel_setups_->add();
     }
+    span.set_attr("warm_channel", warm ? "true" : "false");
+    channel_bytes = &sim().metrics().counter("gridftp_channel_bytes_total",
+                                             {{"server", server_key()}});
 
     // For a fresh GET, materialize the growing local file so size polling
     // (the request manager's monitor) observes arrival.
@@ -232,12 +255,14 @@ struct GridFtpClient::Op : TransferHandle,
     tcp_opts.dead_interval = options.stall_timeout;
     tcp_opts.connect_delay =
         warm ? 0 : client->orb_.network().rtt(*src_host, *dst_host);
+    tcp_opts.obs_track = options.obs_track;
 
     auto self = shared_from_this();
     net::TcpCallbacks cbs;
     cbs.on_progress = [self](Bytes delta, SimTime now) {
       if (self->finished) return;
       self->attempt_bytes += delta;
+      if (self->channel_bytes) self->channel_bytes->add(delta);
       const Bytes total = self->options.restart_offset + self->attempt_bytes;
       if (self->kind == Kind::get) {
         (void)self->client->storage_->resize(self->local_name, total);
@@ -293,7 +318,15 @@ GridFtpClient::GridFtpClient(rpc::Orb& orb, const net::Host& local_host,
       local_(local_host),
       storage_(std::move(local_storage)),
       wallet_(std::move(wallet)),
-      registry_(registry) {}
+      registry_(registry) {
+  auto& metrics = orb_.network().simulation().metrics();
+  metric_started_ = &metrics.counter("gridftp_transfers_started_total");
+  metric_completed_ = &metrics.counter("gridftp_transfers_completed_total");
+  metric_failed_ = &metrics.counter("gridftp_transfers_failed_total");
+  metric_auth_ = &metrics.counter("gridftp_auth_handshakes_total");
+  metric_channel_setups_ = &metrics.counter("gridftp_data_channel_setups_total");
+  metric_channels_reused_ = &metrics.counter("gridftp_channels_reused_total");
+}
 
 void GridFtpClient::ensure_session(
     const net::Host& server, const TransferOptions& options,
@@ -315,6 +348,7 @@ void GridFtpClient::ensure_session(
   }
 
   ++stats_.auth_handshakes;
+  metric_auth_->add();
   const SimDuration rtt = orb_.network().rtt(local_, server);
   // 1 RTT TCP connect, then the AUTH RPC (1 RTT), then the remaining GSI
   // rounds modeled as a post-reply delay.

@@ -23,6 +23,7 @@
 #include "gridftp/types.hpp"
 #include "gridftp/url.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 
 namespace esg::gridftp {
 
@@ -121,6 +122,14 @@ class GridFtpClient {
   std::map<std::string, WarmChannel> warm_channels_;
   SimDuration channel_idle_timeout_ = 60 * common::kSecond;
   ClientStats stats_;
+  // ClientStats mirrored into the simulation's metrics registry so snapshots
+  // and the Prometheus dump see the same numbers the ablations read.
+  obs::Counter* metric_started_ = nullptr;
+  obs::Counter* metric_completed_ = nullptr;
+  obs::Counter* metric_failed_ = nullptr;
+  obs::Counter* metric_auth_ = nullptr;
+  obs::Counter* metric_channel_setups_ = nullptr;
+  obs::Counter* metric_channels_reused_ = nullptr;
 };
 
 }  // namespace esg::gridftp

@@ -50,9 +50,21 @@ void ReliableGet::attempt() {
                             std::to_string(result_.attempts) + " attempts"});
   }
   ++result_.attempts;
+  if (result_.attempts > 1) {
+    client_.simulation().metrics().counter("gridftp_retries_total").add();
+    if (offset_ > 0) {
+      // Resuming from a restart marker rather than from byte zero.
+      client_.simulation().metrics().counter("gridftp_restarts_total").add();
+    }
+  }
 
   TransferOptions opts = options_;
   opts.restart_offset = offset_;
+  client_.simulation().tracer().instant(
+      "gridftp.attempt", "gridftp", options_.obs_track,
+      {{"replica", current_replica().host},
+       {"attempt", std::to_string(result_.attempts)},
+       {"restart_offset", std::to_string(offset_)}});
 
   auto self = shared_from_this();
   handle_ = client_.get(
@@ -86,7 +98,13 @@ void ReliableGet::arm_rate_monitor() {
           // from the restart marker.
           self->handle_->abort();
           ++self->replica_index_;
-          if (self->replicas_.size() > 1) ++self->result_.replica_switches;
+          if (self->replicas_.size() > 1) {
+            ++self->result_.replica_switches;
+            self->client_.simulation()
+                .metrics()
+                .counter("gridftp_replica_switches_total")
+                .add();
+          }
           self->attempt();
           return false;
         }
@@ -109,7 +127,13 @@ void ReliableGet::attempt_finished(TransferResult r) {
   // session if the server looked dead, so re-authentication happens
   // naturally on the retry.
   ++replica_index_;
-  if (replicas_.size() > 1) ++result_.replica_switches;
+  if (replicas_.size() > 1) {
+    ++result_.replica_switches;
+    client_.simulation()
+        .metrics()
+        .counter("gridftp_replica_switches_total")
+        .add();
+  }
   auto self = shared_from_this();
   client_.simulation().schedule_after(reliability_.retry_backoff,
                                       [self] { self->attempt(); });

@@ -1,5 +1,7 @@
 #include "gridftp/striped.hpp"
 
+#include <algorithm>
+
 namespace esg::gridftp {
 
 StripedTransfer::StripedTransfer(GridFtpClient& client,
@@ -37,6 +39,12 @@ Bytes StripedTransfer::delivered() const {
 
 void StripedTransfer::stripe_done(std::size_t index, TransferResult result) {
   if (finished_) return;
+  client_.simulation()
+      .metrics()
+      .counter("gridftp_stripe_bytes_total",
+               {{"stripe", std::to_string(index)}})
+      .add(static_cast<std::uint64_t>(
+          std::max<Bytes>(0, result.bytes_transferred)));
   result_.total_bytes += result.bytes_transferred;
   result_.started = result_.started == 0
                         ? result.started

@@ -6,6 +6,7 @@
 
 #include "common/result.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::gridftp {
 
@@ -35,6 +36,10 @@ struct TransferOptions {
   bool large_file_support = true;         // 64-bit sizes (post-SC'2000)
   std::string eret_module;                // "" = plain RETR
   std::string eret_params;
+  /// Trace track the operation's spans land on (see obs/trace.hpp); the
+  /// request manager sets this to the per-file worker track so GridFTP and
+  /// network spans nest under the worker's in the exported Chrome trace.
+  obs::TrackId obs_track = 0;
 };
 
 struct TransferResult {

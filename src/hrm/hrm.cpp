@@ -22,6 +22,12 @@ HrmService::HrmService(rpc::Orb& orb, const net::Host& host,
       tape_(std::make_unique<storage::TapeLibrary>(orb.network().simulation(),
                                                    config.tape)),
       cache_(config.cache_capacity) {
+  auto& metrics = orb_.network().simulation().metrics();
+  metric_hits_ = &metrics.counter("hrm_cache_hits_total");
+  metric_misses_ = &metrics.counter("hrm_cache_misses_total");
+  stage_wait_ = &metrics.histogram("hrm_stage_wait_seconds",
+                                   obs::duration_boundaries());
+  tape_depth_ = &metrics.gauge("hrm_tape_queue_depth");
   cache_.set_eviction_hook([this](const storage::FileObject& evicted) {
     (void)served_->remove(evicted.name);
   });
@@ -38,6 +44,7 @@ void HrmService::stage(const std::string& name,
                        std::function<void(Result<Bytes>)> done) {
   if (cache_.contains(name)) {
     ++cache_hits_;
+    metric_hits_->add();
     (void)cache_.pin(name);
     auto size = cache_.get(name);
     const Bytes bytes = size ? size->size : 0;
@@ -46,22 +53,32 @@ void HrmService::stage(const std::string& name,
     return;
   }
   ++cache_misses_;
+  metric_misses_->add();
+  // Each waiter's stage wait runs from its own request to the tape reply.
+  const common::SimTime t0 = orb_.network().simulation().now();
+  auto timed = [this, t0, done = std::move(done)](Result<Bytes> r) mutable {
+    stage_wait_->observe(
+        common::to_seconds(orb_.network().simulation().now() - t0));
+    done(std::move(r));
+  };
   auto it = staging_.find(name);
   if (it != staging_.end()) {
     // Coalesce onto the in-flight tape read.
-    it->second.push_back(std::move(done));
+    it->second.push_back(std::move(timed));
     return;
   }
-  staging_[name].push_back(std::move(done));
+  staging_[name].push_back(std::move(timed));
   tape_->stage(name, [this, name](Result<storage::FileObject> staged) {
     finish_stage(name, std::move(staged));
   });
+  tape_depth_->set(static_cast<double>(tape_->queue_depth()));
 }
 
 void HrmService::finish_stage(const std::string& name,
                               Result<storage::FileObject> staged) {
   auto waiters = std::move(staging_[name]);
   staging_.erase(name);
+  tape_depth_->set(static_cast<double>(tape_->queue_depth()));
   if (!staged) {
     for (auto& w : waiters) w(staged.error());
     return;

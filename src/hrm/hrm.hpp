@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rpc/orb.hpp"
 #include "storage/storage.hpp"
 #include "storage/tape.hpp"
@@ -70,6 +71,11 @@ class HrmService {
       staging_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  // Registry mirrors (owned by the simulation's MetricsRegistry).
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Histogram* stage_wait_ = nullptr;  // hrm_stage_wait_seconds
+  obs::Gauge* tape_depth_ = nullptr;      // hrm_tape_queue_depth
 };
 
 /// RPC client for a remote HRM.

@@ -26,6 +26,8 @@ FluidNetwork::~FluidNetwork() {
 Resource* FluidNetwork::add_resource(std::string name, Rate capacity) {
   auto res = std::make_unique<Resource>(name, capacity);
   Resource* ptr = res.get();
+  ptr->util_gauge_ = &sim_.metrics().gauge("net_resource_utilization",
+                                           {{"resource", ptr->name()}});
   auto [it, inserted] = resources_.emplace(std::move(name), std::move(res));
   assert(inserted && "duplicate resource name");
   (void)it;
@@ -181,7 +183,10 @@ void FluidNetwork::reallocate() {
       entries.push_back(Entry{&f});
     }
   }
-  if (entries.empty()) return;
+  if (entries.empty()) {
+    publish_utilization({});
+    return;
+  }
 
   std::map<const Resource*, double> usage;
   std::map<const Resource*, int> unfrozen_count;
@@ -246,6 +251,20 @@ void FluidNetwork::reallocate() {
       }
     }
     if (!any_frozen) break;  // numerical safety: guarantee progress
+  }
+  publish_utilization(usage);
+}
+
+void FluidNetwork::publish_utilization(
+    const std::map<const Resource*, double>& usage) {
+  for (auto& [name, res] : resources_) {
+    const auto it = usage.find(res.get());
+    const double used =
+        res->background_ + (it == usage.end() ? 0.0 : it->second);
+    const double util =
+        res->nominal_ > 0.0 ? std::min(1.0, used / res->nominal_) : 0.0;
+    res->utilization_ = util;
+    res->util_gauge_->set(util);
   }
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace esg::net {
@@ -56,12 +57,19 @@ class Resource {
     return std::max(0.0, nominal_ - background_);
   }
 
+  /// Fraction of nominal capacity in use (foreground + background) as of
+  /// the last rate allocation; mirrored into the simulation's
+  /// `net_resource_utilization{resource=...}` gauge.
+  double utilization() const { return utilization_; }
+
  private:
   friend class FluidNetwork;
   std::string name_;
   Rate nominal_;
   Rate background_ = 0.0;  // consumed by modeled cross-traffic
   bool down_ = false;      // failure injection
+  double utilization_ = 0.0;
+  obs::Gauge* util_gauge_ = nullptr;  // owned by the sim's registry
 };
 
 /// One TCP stream's path and its self-imposed rate cap.
@@ -165,6 +173,7 @@ class FluidNetwork {
 
   void integrate_to_now();
   void reallocate();
+  void publish_utilization(const std::map<const Resource*, double>& usage);
   void schedule_next_event();
   void touch();  // integrate, run completions, reallocate, reschedule
   void ensure_polling();

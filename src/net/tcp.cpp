@@ -39,6 +39,11 @@ TcpTransfer::TcpTransfer(Network& network, const Host& src, const Host& dst,
   target_cap_ = std::min(window_cap(options_.buffer_size, rtt_),
                          mathis_cap(options_.mss, rtt_, loss_));
   last_progress_ = net_.simulation().now();
+  span_ = net_.simulation().tracer().span("net.tcp", "net",
+                                          options_.obs_track);
+  span_.set_attr("src", src_.name());
+  span_.set_attr("dst", dst_.name());
+  span_.set_attr("streams", std::to_string(options_.streams));
 
   if (!info.up) {
     // Connection attempt into an outage: fail after the dead interval, the
@@ -139,7 +144,9 @@ Bytes TcpTransfer::cancel() {
   }
   if (state_ == State::connecting || state_ == State::running) {
     state_ = State::cancelled;
+    span_.set_attr("status", "cancelled");
   }
+  span_.end();
   return delivered_snapshot_;
 }
 
@@ -156,6 +163,9 @@ void TcpTransfer::finish(Status status) {
     transfer_id_ = 0;
   }
   state_ = status.ok() ? State::done : State::failed;
+  span_.set_attr("status", status.ok() ? "ok"
+                                       : status.error().to_string());
+  span_.end();
   if (callbacks_.on_complete) {
     // The callback may destroy this object; move it out first.
     auto cb = std::move(callbacks_.on_complete);

@@ -26,6 +26,7 @@
 #include "common/result.hpp"
 #include "common/units.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::net {
 
@@ -37,6 +38,10 @@ struct TcpOptions {
   SimDuration connect_delay = 0;   // control-channel setup paid up front
   SimDuration dead_interval = 30 * common::kSecond;
   bool include_disks = true;       // NWS probes bypass storage
+  /// Trace track this transfer's "net.tcp" span is recorded on — callers
+  /// (GridFTP ops, the request manager) pass their own track so the span
+  /// nests under theirs in the exported Chrome trace.
+  obs::TrackId obs_track = 0;
 };
 
 struct TcpCallbacks {
@@ -102,6 +107,7 @@ class TcpTransfer {
   sim::EventHandle connect_event_;
   sim::EventHandle ramp_event_;
   sim::EventHandle watchdog_event_;
+  obs::Span span_;
 };
 
 }  // namespace esg::net

@@ -1,6 +1,7 @@
 #include "nws/sensor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace esg::nws {
 
@@ -40,6 +41,9 @@ NwsSensor::NwsSensor(net::Network& network, const net::Host& src,
       config_(config),
       publish_(std::move(publish)),
       rng_(config.seed) {
+  forecast_error_ = &net_.simulation().metrics().histogram(
+      "nws_forecast_error", obs::relative_error_boundaries(),
+      {{"src", src_.name()}, {"dst", dst_.name()}});
   // First round fires after one period (the service needs a warm-up, as the
   // real NWS does); forecasts before that are zero.  period == 0 leaves the
   // sensor under external control (SensorClique / tests).
@@ -92,6 +96,12 @@ void NwsSensor::measure(std::function<void()> done) {
       m.bandwidth = 0.0;  // an unreachable path forecasts toward zero
     }
     last_ = m;
+    // Score the standing forecast against what the path actually delivered
+    // before folding the new measurement in.
+    if (rounds_ > 0 && m.bandwidth > 0.0) {
+      const double prior = bandwidth_.predict();
+      forecast_error_->observe(std::abs(prior - m.bandwidth) / m.bandwidth);
+    }
     ++rounds_;
     bandwidth_.observe(m.bandwidth);
     latency_.observe(static_cast<double>(m.latency));

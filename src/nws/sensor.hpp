@@ -15,6 +15,7 @@
 
 #include "net/tcp.hpp"
 #include "nws/forecast.hpp"
+#include "obs/metrics.hpp"
 
 namespace esg::nws {
 
@@ -116,6 +117,9 @@ class NwsSensor {
   std::unique_ptr<net::TcpTransfer> probe_;
   sim::EventHandle tick_;
   std::size_t rounds_ = 0;
+  // Relative error of the previous bandwidth forecast against each new
+  // measurement — nws_forecast_error{src=...,dst=...} in the registry.
+  obs::Histogram* forecast_error_ = nullptr;
 };
 
 /// Sensor clique (the NWS system's probe coordination): sensors sharing a

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esg::obs {
+
+Labels normalize_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      boundaries_.size() + 1);
+  for (std::size_t i = 0; i <= boundaries_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - boundaries_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(boundaries_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const SnapshotEntry* MetricsSnapshot::find(std::string_view name,
+                                           const Labels& labels) const {
+  const Labels sorted = normalize_labels(labels);
+  for (const auto& e : entries) {
+    if (e.name == name && e.labels == sorted) return &e;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_or(std::string_view name, const Labels& labels,
+                                 double fallback) const {
+  const SnapshotEntry* e = find(name, labels);
+  return e == nullptr ? fallback : e->value;
+}
+
+double MetricsSnapshot::family_total(std::string_view name) const {
+  double total = 0.0;
+  for (const auto& e : entries) {
+    if (e.name == name && e.kind != MetricKind::histogram) total += e.value;
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  Key key{std::string(name), normalize_labels(std::move(labels))};
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[std::move(key)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  Key key{std::string(name), normalize_labels(std::move(labels))};
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[std::move(key)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> boundaries,
+                                      Labels labels) {
+  Key key{std::string(name), normalize_labels(std::move(labels))};
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[std::move(key)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(boundaries));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(common::SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  std::scoped_lock lock(mu_);
+  snap.entries.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  // std::map iteration gives (name, labels) order within each kind; a final
+  // stable sort interleaves the kinds deterministically.
+  for (const auto& [key, c] : counters_) {
+    SnapshotEntry e;
+    e.kind = MetricKind::counter;
+    e.name = key.first;
+    e.labels = key.second;
+    e.value = static_cast<double>(c->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, g] : gauges_) {
+    SnapshotEntry e;
+    e.kind = MetricKind::gauge;
+    e.name = key.first;
+    e.labels = key.second;
+    e.value = g->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, h] : histograms_) {
+    SnapshotEntry e;
+    e.kind = MetricKind::histogram;
+    e.name = key.first;
+    e.labels = key.second;
+    e.boundaries = h->boundaries();
+    e.buckets = h->bucket_counts();
+    e.count = h->count();
+    e.sum = h->sum();
+    snap.entries.push_back(std::move(e));
+  }
+  std::stable_sort(snap.entries.begin(), snap.entries.end(),
+                   [](const SnapshotEntry& a, const SnapshotEntry& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return snap;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::scoped_lock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<double> duration_boundaries() {
+  return {0.1, 0.5, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0};
+}
+
+std::vector<double> relative_error_boundaries() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+}
+
+}  // namespace esg::obs

@@ -1,0 +1,152 @@
+// Sim-time span tracing.
+//
+// A Tracer is bound to a simulation clock and records nested spans — named
+// intervals of simulated time with parent/child structure and per-span
+// attributes — into a bounded in-memory buffer.  Spans live on *tracks*
+// (one per logical thread of activity: the request manager gives every
+// file worker its own track), and within a track spans nest: a span begun
+// while another is open becomes its child unless an explicit parent is
+// given.  That matches how the Chrome trace_event viewer (about:tracing /
+// Perfetto) renders them — tracks map to tids, nesting shows as stacked
+// slices.
+//
+// Two usage styles:
+//
+//   * RAII for synchronous scopes:
+//       auto sp = tracer.span("rm.rank_replicas", "rm", track);
+//   * begin()/end() ids for async state machines that outlive any C++
+//     scope (GridFTP operations, fluid transfers); Span is movable and can
+//     be parked in the state struct, ending on destruction.
+//
+// When the buffer fills, new spans are dropped (counted, never silently):
+// the begin() returns id 0 and every operation on id 0 is a no-op, so
+// instrumented code needs no capacity checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace esg::obs {
+
+using SpanId = std::uint64_t;   // 0 = invalid / dropped
+using TrackId = std::uint64_t;  // 0 = the default track
+
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  TrackId track = 0;
+  std::string name;
+  std::string category;
+  common::SimTime start = 0;
+  common::SimTime end = -1;  // -1: still open
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  bool open() const { return end < 0; }
+  common::SimDuration duration() const { return open() ? 0 : end - start; }
+};
+
+struct InstantRecord {
+  TrackId track = 0;
+  std::string name;
+  std::string category;
+  common::SimTime at = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer;
+
+/// Movable RAII handle; ends the span on destruction (once).
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { swap(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      swap(other);
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void end();
+  void set_attr(std::string key, std::string value);
+  /// Begin a child span on the same track.
+  Span child(std::string name, std::string category = {});
+
+  SpanId id() const { return id_; }
+  TrackId track() const { return track_; }
+  explicit operator bool() const { return tracer_ != nullptr && id_ != 0; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanId id, TrackId track)
+      : tracer_(tracer), id_(id), track_(track) {}
+  void swap(Span& other) noexcept {
+    std::swap(tracer_, other.tracer_);
+    std::swap(id_, other.id_);
+    std::swap(track_, other.track_);
+  }
+
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+  TrackId track_ = 0;
+};
+
+class Tracer {
+ public:
+  /// `clock` supplies the simulated now; `max_spans` bounds the buffer.
+  explicit Tracer(std::function<common::SimTime()> clock,
+                  std::size_t max_spans = 1 << 17);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocate a named track (a tid in the Chrome trace).
+  TrackId new_track(std::string name);
+
+  /// RAII span; parent inferred from the track's innermost open span.
+  Span span(std::string name, std::string category = {}, TrackId track = 0);
+
+  /// Raw API for async owners.  parent == 0 infers from the open stack.
+  SpanId begin(std::string name, std::string category = {}, TrackId track = 0,
+               SpanId parent = 0);
+  void end(SpanId id);
+  void set_attr(SpanId id, std::string key, std::string value);
+
+  /// Zero-duration marker event.
+  void instant(std::string name, std::string category = {}, TrackId track = 0,
+               std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  // ---- inspection / export ----
+  std::vector<SpanRecord> spans() const;  // copy; includes open spans
+  std::vector<InstantRecord> instants() const;
+  std::map<TrackId, std::string> tracks() const;
+  std::size_t span_count() const;
+  std::size_t dropped() const;
+  std::size_t capacity() const { return max_spans_; }
+  common::SimTime now() const { return clock_(); }
+
+ private:
+  std::function<common::SimTime()> clock_;
+  std::size_t max_spans_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;             // id = index + 1
+  std::vector<InstantRecord> instants_;
+  std::map<TrackId, std::string> track_names_;  // includes 0 ("main")
+  std::map<TrackId, std::vector<SpanId>> open_; // per-track open-span stack
+  TrackId next_track_ = 1;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace esg::obs

@@ -6,13 +6,38 @@
 
 namespace esg::rm {
 
+namespace {
+std::string dropped_sentinel(std::size_t n) {
+  return "... " + std::to_string(n) + " earlier lines dropped";
+}
+}  // namespace
+
 void TransferMonitor::append_log(SimTime now, const std::string& line) {
   log_.push_back("[" + common::format_time(now) + "] " + line);
-  if (log_.size() > kMaxLogLines) log_.pop_front();
+  if (log_.size() <= kMaxLogLines) return;
+  // Overflow: discard the oldest real line but leave a visible count at the
+  // front instead of losing history silently.  The sentinel occupies a log
+  // slot itself, so the first overflow retires two lines.
+  if (dropped_lines_ == 0) {
+    log_.pop_front();
+    log_.pop_front();
+    dropped_lines_ = 2;
+    log_.push_front(dropped_sentinel(dropped_lines_));
+  } else {
+    log_.erase(log_.begin() + 1);
+    ++dropped_lines_;
+    log_.front() = dropped_sentinel(dropped_lines_);
+  }
+}
+
+void TransferMonitor::count_event(const char* event) {
+  if (registry_ == nullptr) return;
+  registry_->counter("monitor_events_total", {{"event", event}}).add();
 }
 
 void TransferMonitor::file_queued(const std::string& file, Bytes total_size,
                                   SimTime now) {
+  count_event("file_queued");
   auto& st = files_[file];
   st.total = total_size;
   st.order = next_order_++;
@@ -23,6 +48,7 @@ void TransferMonitor::file_queued(const std::string& file, Bytes total_size,
 void TransferMonitor::replica_selected(const std::string& file,
                                        const std::string& host,
                                        Rate forecast_bandwidth, SimTime now) {
+  count_event("replica_selected");
   auto& st = files_[file];
   st.replica_host = host;
   st.forecast = forecast_bandwidth;
@@ -33,12 +59,14 @@ void TransferMonitor::replica_selected(const std::string& file,
 
 void TransferMonitor::staging_started(const std::string& file,
                                       const std::string& host, SimTime now) {
+  count_event("staging_started");
   files_[file].phase = FileState::Phase::staging;
   append_log(now, "HRM staging " + file + " from tape at " + host);
 }
 
 void TransferMonitor::transfer_started(const std::string& file,
                                        const std::string& host, SimTime now) {
+  count_event("transfer_started");
   files_[file].phase = FileState::Phase::transferring;
   append_log(now, "gridftp transfer of " + file + " from " + host +
                       " started");
@@ -53,12 +81,14 @@ void TransferMonitor::progress(const std::string& file, Bytes current_size,
 void TransferMonitor::replica_switched(const std::string& file,
                                        const std::string& new_host,
                                        SimTime now) {
+  count_event("replica_switched");
   files_[file].replica_host = new_host;
   append_log(now, "switched " + file + " to alternate replica at " + new_host);
 }
 
 void TransferMonitor::transfer_complete(const std::string& file, Bytes size,
                                         SimTime now) {
+  count_event("transfer_complete");
   auto& st = files_[file];
   st.phase = FileState::Phase::complete;
   st.current = size;
@@ -68,6 +98,7 @@ void TransferMonitor::transfer_complete(const std::string& file, Bytes size,
 
 void TransferMonitor::transfer_failed(const std::string& file,
                                       const std::string& reason, SimTime now) {
+  count_event("transfer_failed");
   auto& st = files_[file];
   st.phase = FileState::Phase::failed;
   st.failure = reason;
@@ -152,6 +183,29 @@ std::string TransferMonitor::render(SimTime now) const {
   const std::size_t shown = std::min<std::size_t>(log_.size(), 10);
   for (std::size_t i = log_.size() - shown; i < log_.size(); ++i) {
     os << "  " << log_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string TransferMonitor::render(
+    SimTime now, const obs::MetricsSnapshot& snapshot) const {
+  std::ostringstream os;
+  os << render(now);
+  os << "--- metrics ---\n";
+  os << "  rm queue depth " << snapshot.value_or("rm_queue_depth", {})
+     << "  active workers " << snapshot.value_or("rm_active_workers", {})
+     << "  retries "
+     << snapshot.family_total("rm_retries_total") << "\n";
+  os << "  hrm cache hits " << snapshot.value_or("hrm_cache_hits_total", {})
+     << "  misses " << snapshot.value_or("hrm_cache_misses_total", {}) << "\n";
+  for (const auto& e : snapshot.entries) {
+    if (e.name != "gridftp_channel_bytes_total") continue;
+    std::string server = "?";
+    for (const auto& [k, v] : e.labels) {
+      if (k == "server") server = v;
+    }
+    os << "  gridftp bytes from " << server << "  "
+       << common::format_bytes(static_cast<Bytes>(e.value)) << "\n";
   }
   return os.str();
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace esg::rm {
 
@@ -27,6 +28,11 @@ using common::SimTime;
 
 class TransferMonitor {
  public:
+  /// Mirror monitor events into `registry` (monitor_events_total{event=...});
+  /// also enables the metrics pane of the snapshot render() overload.
+  /// Pass nullptr to detach.  The registry must outlive the monitor.
+  void bind_registry(obs::MetricsRegistry* registry) { registry_ = registry; }
+
   // ---- events from the request manager ----
   void file_queued(const std::string& file, Bytes total_size, SimTime now);
   void replica_selected(const std::string& file, const std::string& host,
@@ -45,8 +51,15 @@ class TransferMonitor {
   // ---- display ----
   /// Full Figure 4-style frame.
   std::string render(SimTime now) const;
-  /// The scrolling message log (most recent last).
+  /// Same frame plus a metrics pane rendered from a registry snapshot
+  /// (queue depth, GridFTP channel bytes, HRM cache hits, retries).
+  std::string render(SimTime now, const obs::MetricsSnapshot& snapshot) const;
+  /// The scrolling message log (most recent last).  When the log overflows,
+  /// the oldest entries are replaced by a "... N earlier lines dropped"
+  /// sentinel at the front rather than vanishing silently.
   const std::deque<std::string>& log() const { return log_; }
+  /// Lines discarded from the front of log() so far.
+  std::size_t dropped_log_lines() const { return dropped_lines_; }
 
   Bytes total_bytes() const;
   std::size_t files_total() const { return files_.size(); }
@@ -66,10 +79,13 @@ class TransferMonitor {
   };
 
   void append_log(SimTime now, const std::string& line);
+  void count_event(const char* event);
 
   std::map<std::string, FileState> files_;
   std::deque<std::string> log_;
   int next_order_ = 0;
+  std::size_t dropped_lines_ = 0;
+  obs::MetricsRegistry* registry_ = nullptr;
   static constexpr std::size_t kMaxLogLines = 200;
 };
 

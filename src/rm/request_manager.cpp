@@ -34,9 +34,16 @@ struct RequestManager::Job : std::enable_shared_from_this<Job> {
   std::size_t running = 0;
   std::size_t finished = 0;
   common::SimTime started = 0;
+  // Resolved once per job; updated from pump()/worker_finished().
+  obs::Gauge* queue_depth = nullptr;     // files not yet started
+  obs::Gauge* active_workers = nullptr;  // workers in flight
 
   void pump();
   void worker_finished(std::size_t index, FileOutcome outcome);
+  void publish_depth() {
+    queue_depth->set(static_cast<double>(files.size() - next_index));
+    active_workers->set(static_cast<double>(running));
+  }
 };
 
 // One file: the paper's per-file thread.
@@ -49,14 +56,28 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
   sim::EventHandle poller;
   std::unique_ptr<hrm::HrmClient> hrm_client;
   bool terminal = false;
+  obs::TrackId track = 0;  // one trace track per file worker
+  obs::Span span;          // whole-file "rm.file" span
+  obs::Span phase;         // current step's child span
 
   RequestManager& rm() { return *job->rm; }
   sim::Simulation& sim() { return rm().orb_.network().simulation(); }
   TransferMonitor* monitor() { return rm().monitor_; }
 
+  /// End the current step's span and open the next one under rm.file.
+  void next_phase(const char* name) {
+    phase.end();
+    phase = sim().tracer().span(name, "rm", track);
+  }
+
   void start() {
     outcome.started = sim().now();
     outcome.request = job->files[index];
+    track = sim().tracer().new_track("rm " + outcome.request.filename);
+    span = sim().tracer().span("rm.file", "rm", track);
+    span.set_attr("file", outcome.request.filename);
+    sim().metrics().counter("rm_files_submitted_total").add();
+    next_phase("rm.lookup");
     outcome.local_name = job->options.local_path_prefix + "/" +
                          outcome.request.filename;
     if (!outcome.request.eret_module.empty()) {
@@ -85,6 +106,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
 
   // Step 1: all replicas from the replica catalog.
   void find_replicas() {
+    next_phase("rm.find_replicas");
     auto self = shared_from_this();
     rm().catalog_.find_replicas(
         outcome.request.collection, outcome.request.filename,
@@ -97,6 +119,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
 
   // Step 2+3: NWS forecasts (via MDS) for every candidate, pick the best.
   void rank_replicas() {
+    next_phase("rm.rank_replicas");
     auto self = shared_from_this();
     rm().mds_.query_paths_to(
         rm().host_.name(),
@@ -120,6 +143,12 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
           self->outcome.chosen_location = best.location.name;
           self->outcome.chosen_host = best.location.hostname;
           self->outcome.forecast_bandwidth = std::max(0.0, score(best));
+          self->sim()
+              .metrics()
+              .counter("rm_replica_selected_total",
+                       {{"host", best.location.hostname}})
+              .add();
+          self->span.set_attr("replica", best.location.hostname);
           if (self->monitor()) {
             self->monitor()->replica_selected(
                 self->outcome.request.filename, best.location.hostname,
@@ -133,6 +162,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
   void maybe_stage() {
     const auto& best = replicas.front();
     if (best.location.storage_type != "mss") return begin_transfer();
+    next_phase("hrm.stage");
     net::Host* hrm_host =
         rm().orb_.network().find_host(best.location.hostname);
     if (hrm_host == nullptr) {
@@ -158,6 +188,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
 
   // Step 4b: GridFTP get through the reliability plugin, alternates ready.
   void begin_transfer() {
+    next_phase("rm.transfer");
     std::vector<gridftp::FtpUrl> urls;
     urls.reserve(replicas.size());
     for (const auto& rep : replicas) urls.push_back(rep.url);
@@ -166,6 +197,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                                   outcome.chosen_host, sim().now());
     }
     gridftp::TransferOptions transfer = job->options.transfer;
+    transfer.obs_track = track;  // nest gridftp/net spans under this worker
     if (!outcome.request.eret_module.empty()) {
       transfer.eret_module = outcome.request.eret_module;
       transfer.eret_params = outcome.request.eret_params;
@@ -213,6 +245,24 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     poller.cancel();
     outcome.status = std::move(status);
     outcome.finished = sim().now();
+    auto& metrics = sim().metrics();
+    metrics.counter(outcome.status.ok() ? "rm_files_completed_total"
+                                        : "rm_files_failed_total")
+        .add();
+    if (outcome.attempts > 1) {
+      metrics.counter("rm_retries_total")
+          .add(static_cast<std::uint64_t>(outcome.attempts - 1));
+    }
+    if (outcome.replica_switches > 0) {
+      metrics.counter("rm_replica_switches_total")
+          .add(static_cast<std::uint64_t>(outcome.replica_switches));
+    }
+    phase.end();
+    span.set_attr("status",
+                  outcome.status.ok() ? "ok"
+                                      : outcome.status.error().to_string());
+    span.set_attr("bytes", std::to_string(outcome.bytes));
+    span.end();
     if (monitor()) {
       if (outcome.status.ok()) {
         monitor()->transfer_complete(outcome.request.filename, outcome.bytes,
@@ -237,8 +287,10 @@ void RequestManager::Job::pump() {
     worker->job = shared_from_this();
     worker->index = next_index++;
     ++running;
+    publish_depth();
     worker->start();
   }
+  publish_depth();
 }
 
 void RequestManager::Job::worker_finished(std::size_t index,
@@ -246,6 +298,7 @@ void RequestManager::Job::worker_finished(std::size_t index,
   outcomes[index] = std::move(outcome);
   --running;
   ++finished;
+  publish_depth();
   if (finished == files.size()) {
     RequestResult result;
     result.files = std::move(outcomes);
@@ -271,6 +324,9 @@ void RequestManager::submit(std::vector<FileRequest> files,
   job->outcomes.resize(job->files.size());
   job->done = std::move(done);
   job->started = orb_.network().simulation().now();
+  auto& metrics = orb_.network().simulation().metrics();
+  job->queue_depth = &metrics.gauge("rm_queue_depth");
+  job->active_workers = &metrics.gauge("rm_active_workers");
   if (job->files.empty()) {
     orb_.network().simulation().schedule_after(0, [job] {
       RequestResult r;

@@ -23,6 +23,8 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::sim {
 
@@ -87,6 +89,14 @@ class Simulation {
   /// A logger whose lines carry this simulation's timestamps.
   common::Logger make_logger(std::string component);
 
+  /// Per-simulation observability: every component hanging off this kernel
+  /// records into one registry / tracer, so a whole run snapshots and
+  /// exports as a unit (and concurrent Simulations never share state).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   struct Event {
     SimTime at;
@@ -107,6 +117,8 @@ class Simulation {
   std::uint64_t fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   common::Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_{[this] { return now_; }};
 };
 
 }  // namespace esg::sim

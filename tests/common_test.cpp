@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "common/bytebuf.hpp"
 #include "common/log.hpp"
@@ -341,4 +342,145 @@ TEST(Log, SinkCapturesAndLevelFilters) {
 
   ec::set_global_log_level(ec::LogLevel::warn);
   ec::set_log_sink(nullptr);
+}
+
+TEST(Log, BoundClockStampsSimulatedTime) {
+  std::vector<std::string> lines;
+  ec::set_log_sink([&lines](const std::string& l) { lines.push_back(l); });
+  ec::set_global_log_level(ec::LogLevel::info);
+
+  ec::SimTime now = 90 * ec::kSecond + 500 * ec::kMillisecond;
+  ec::Logger log("rm");
+  log.bind_clock([&now] { return now; });
+  log.info("transfer started");
+  now += ec::kMinute;
+  log.info("transfer complete");
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("[1m30.500s] ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("[2m30.500s] ", 0), 0u) << lines[1];
+
+  ec::set_global_log_level(ec::LogLevel::warn);
+  ec::set_log_sink(nullptr);
+}
+
+TEST(Log, SinkAndLevelSwapsAreThreadSafe) {
+  // Hammer set_log_sink()/set_global_log_level() against concurrent logging;
+  // under the TSAN preset this is a data-race check, elsewhere a smoke test.
+  std::atomic<bool> stop{false};
+  std::atomic<int> delivered{0};
+  std::thread writer([&] {
+    ec::Logger log("hammer");
+    while (!stop.load()) log.error("x");
+  });
+  for (int i = 0; i < 200; ++i) {
+    ec::set_log_sink([&delivered](const std::string&) { ++delivered; });
+    ec::set_global_log_level(i % 2 ? ec::LogLevel::error : ec::LogLevel::off);
+  }
+  stop.store(true);
+  writer.join();
+  ec::set_global_log_level(ec::LogLevel::warn);
+  ec::set_log_sink(nullptr);
+  EXPECT_GE(delivered.load(), 0);
+}
+
+// ---------- online stats: edges and merge ----------
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  ec::OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequentialFeed) {
+  ec::OnlineStats all, left, right;
+  const double xs[] = {1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0};
+  for (int i = 0; i < 7; ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.mean(), all.mean());
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeAfterResetAdoptsOther) {
+  ec::OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  // Merging an empty set is a no-op.
+  ec::OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+// ---------- bandwidth sampler: interval splitting ----------
+
+TEST(BandwidthSampler, RecordIntervalSplitsAcrossBuckets) {
+  ec::BandwidthSampler s(ec::kSecond);
+  // 3000 bytes spread over exactly three 1 s buckets.
+  s.record_interval(0, 3 * ec::kSecond, 3000);
+  const auto series = s.series();
+  ASSERT_EQ(series.size(), 3u);
+  for (const auto& [t, rate] : series) {
+    (void)t;
+    EXPECT_DOUBLE_EQ(rate, 1000.0);  // bytes/s
+  }
+  EXPECT_EQ(s.total_bytes(), 3000);
+}
+
+TEST(BandwidthSampler, RecordIntervalPartialOverlapKeepsTotalExact) {
+  ec::BandwidthSampler s(ec::kSecond);
+  // 700 bytes over [0.5 s, 2.5 s): shares 175/350/175 by overlap.
+  s.record_interval(500 * ec::kMillisecond,
+                    2 * ec::kSecond + 500 * ec::kMillisecond, 700);
+  const auto series = s.series();
+  ASSERT_EQ(series.size(), 3u);
+  ec::Bytes sum = 0;
+  for (const auto& [t, rate] : series) {
+    (void)t;
+    sum += static_cast<ec::Bytes>(rate + 0.5);
+  }
+  EXPECT_EQ(sum, 700);
+  EXPECT_EQ(s.total_bytes(), 700);
+  EXPECT_DOUBLE_EQ(series[1].second, 350.0);  // the fully covered bucket
+}
+
+TEST(BandwidthSampler, RecordIntervalZeroLengthFallsBackToPoint) {
+  ec::BandwidthSampler s(ec::kSecond);
+  s.record_interval(5 * ec::kSecond, 5 * ec::kSecond, 400);
+  EXPECT_EQ(s.total_bytes(), 400);
+  const auto series = s.series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].second, 400.0);
+}
+
+TEST(BandwidthSampler, RecordIntervalNonMonotoneClampsToEpoch) {
+  ec::BandwidthSampler s(ec::kSecond);
+  s.record(10 * ec::kSecond, 100);  // establishes origin at 10 s
+  // A retried transfer replaying an earlier window must not underflow; the
+  // pre-epoch portion lands in the first bucket.
+  s.record_interval(8 * ec::kSecond, 11 * ec::kSecond, 300);
+  EXPECT_EQ(s.total_bytes(), 400);
+  const auto series = s.series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].second, 400.0);
 }

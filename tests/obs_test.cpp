@@ -1,0 +1,431 @@
+// Observability subsystem tests: metrics registry semantics, sim-time span
+// tracing, exporter well-formedness, snapshot determinism across same-seed
+// runs, and the end-to-end instrumentation of the request path (rm ->
+// gridftp -> net spans, plus the acceptance metric families).
+//
+// These tests carry the ctest label "obs" and are the suite the TSAN preset
+// (`cmake --preset tsan && ctest --preset tsan-obs`) exercises.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "esg/testbed.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rm/monitor.hpp"
+
+namespace eo = esg::obs;
+namespace ee = esg::esg;
+namespace ec = esg::common;
+namespace erm = esg::rm;
+
+using ec::kSecond;
+
+namespace {
+
+// Structural JSON check: braces/brackets balance outside of strings.
+void expect_balanced_json(const std::string& s) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  eo::MetricsRegistry reg;
+  auto& c = reg.counter("requests_total");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  auto& g = reg.gauge("depth");
+  g.set(3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  auto& h = reg.histogram("latency", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // two boundaries + overflow
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(MetricsRegistry, SameSeriesIsStableAndLabelsSeparate) {
+  eo::MetricsRegistry reg;
+  auto& a = reg.counter("bytes", {{"server", "x"}});
+  auto& b = reg.counter("bytes", {{"server", "y"}});
+  EXPECT_NE(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 0u);
+  // Same name+labels resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("bytes", {{"server", "x"}}), &a);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, LabelOrderIsNormalized) {
+  eo::MetricsRegistry reg;
+  auto& a = reg.counter("m", {{"b", "2"}, {"a", "1"}});
+  auto& b = reg.counter("m", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndQueryable) {
+  eo::MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha", {{"k", "v"}}).add(2);
+  reg.gauge("alpha").set(9);  // same family name, different kind/labels
+  reg.histogram("hist", {1.0}).observe(0.5);
+
+  const auto snap = reg.snapshot(42);
+  EXPECT_EQ(snap.at, 42);
+  ASSERT_EQ(snap.entries.size(), 4u);
+  for (std::size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LE(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+  EXPECT_DOUBLE_EQ(snap.value_or("zeta", {}), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("alpha", {{"k", "v"}}), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("absent", {}, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(snap.family_total("alpha"), 11.0);
+  const auto* h = snap.find("hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreExact) {
+  // The TSAN preset runs this under -fsanitize=thread; in any build the
+  // totals must still be exact.
+  eo::MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      auto& c = reg.counter("hammer_total");
+      auto& g = reg.gauge("hammer_gauge");
+      auto& h = reg.histogram("hammer_hist", {0.5});
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hammer_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(reg.gauge("hammer_gauge").value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("hammer_hist", {0.5}).count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(Tracer, NestingAndParentInference) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  {
+    auto outer = tracer.span("outer", "test");
+    now = 10;
+    auto inner = tracer.span("inner", "test");
+    now = 20;
+    inner.end();
+    now = 30;
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].start, 10);
+  EXPECT_EQ(spans[1].end, 20);
+  EXPECT_EQ(spans[0].end, 30);
+}
+
+TEST(Tracer, TracksIsolateOpenStacks) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  const auto t1 = tracer.new_track("file a");
+  const auto t2 = tracer.new_track("file b");
+  auto a = tracer.span("a", "", t1);
+  auto b = tracer.span("b", "", t2);
+  auto a_child = tracer.span("a.child", "", t1);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[2].parent, spans[0].id);  // nests under a, not b
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(tracer.tracks().at(t1), "file a");
+}
+
+TEST(Tracer, DropsNewestWhenFullAndCounts) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; }, /*max_spans=*/2);
+  auto a = tracer.span("a");
+  auto b = tracer.span("b");
+  auto c = tracer.span("c");  // dropped
+  EXPECT_FALSE(static_cast<bool>(c));
+  c.set_attr("k", "v");  // no-op, must not crash
+  c.end();
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(Tracer, ChromeTraceIsWellFormed) {
+  ec::SimTime now = 1500;
+  eo::Tracer tracer([&now] { return now; });
+  const auto track = tracer.new_track("worker");
+  auto sp = tracer.span("op \"quoted\"", "cat", track);
+  sp.set_attr("key", "va\"lue");
+  tracer.instant("marker", "cat", track, {{"attempt", "1"}});
+  now = 2500;
+  sp.end();
+  auto open = tracer.span("still-open", "cat", track);
+
+  const std::string json = eo::to_chrome_trace(tracer);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // ts is 1500 ns -> 1.500 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("va\\\"lue"), std::string::npos);
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(Exporters, PrometheusTextFormat) {
+  eo::MetricsRegistry reg;
+  reg.counter("bytes_total", {{"server", "s1"}}).add(10);
+  reg.gauge("depth").set(2.5);
+  auto& h = reg.histogram("wait_seconds", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(30.0);
+
+  const std::string text = eo::to_prometheus_text(reg.snapshot(0));
+  EXPECT_NE(text.find("# TYPE bytes_total counter"), std::string::npos);
+  EXPECT_NE(text.find("bytes_total{server=\"s1\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 2.5"), std::string::npos);
+  // Cumulative le buckets ending with +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("wait_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_bucket{le=\"5\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_sum 33.5"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_count 3"), std::string::npos);
+}
+
+TEST(Exporters, JsonSnapshotIsWellFormed) {
+  eo::MetricsRegistry reg;
+  reg.counter("c", {{"k", "v\"w"}}).add(1);
+  reg.histogram("h", {1.0}).observe(2.0);
+  const std::string json = eo::to_json(reg.snapshot(77));
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"sim_time_ns\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("v\\\"w"), std::string::npos);
+}
+
+// ---------------------------------------------------- monitor log sentinel
+
+TEST(TransferMonitor, LogOverflowLeavesDroppedSentinel) {
+  erm::TransferMonitor monitor;
+  for (int i = 0; i < 250; ++i) {
+    monitor.file_queued("file-" + std::to_string(i), 1000, i * kSecond);
+  }
+  // Capacity is 200: the sentinel occupies the front slot and counts both
+  // the lines it displaced and every later eviction.
+  EXPECT_EQ(monitor.log().size(), 200u);
+  EXPECT_EQ(monitor.dropped_log_lines(), 51u);
+  EXPECT_EQ(monitor.log().front(), "... 51 earlier lines dropped");
+  EXPECT_NE(monitor.log().back().find("file-249"), std::string::npos);
+  // The oldest surviving real line follows the sentinel contiguously.
+  EXPECT_NE(monitor.log()[1].find("file-51"), std::string::npos);
+}
+
+TEST(TransferMonitor, BoundRegistryCountsEvents) {
+  eo::MetricsRegistry reg;
+  erm::TransferMonitor monitor;
+  monitor.bind_registry(&reg);
+  monitor.file_queued("f", 10, 0);
+  monitor.transfer_started("f", "h", kSecond);
+  monitor.transfer_complete("f", 10, 2 * kSecond);
+  const auto snap = reg.snapshot(0);
+  EXPECT_DOUBLE_EQ(
+      snap.value_or("monitor_events_total", {{"event", "file_queued"}}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      snap.value_or("monitor_events_total", {{"event", "transfer_complete"}}),
+      1.0);
+}
+
+// ----------------------------------------------- end-to-end instrumentation
+
+namespace {
+
+struct ScenarioResult {
+  std::string metrics_json;
+  std::string trace_json;
+  std::vector<eo::SpanRecord> spans;
+  eo::MetricsSnapshot snapshot;
+};
+
+// A full testbed pass: publish a 2-chunk dataset (also archived on tape),
+// warm the NWS sensors, stage one file through the HRM twice (miss + hit),
+// then fetch both chunks through the request manager.
+ScenarioResult run_scenario() {
+  ee::TestbedConfig cfg;
+  cfg.grid = esg::climate::GridSpec{18, 36};
+  cfg.sensor_period = 30 * kSecond;
+  ee::EsgTestbed testbed(cfg);
+
+  ee::DatasetSpec spec;
+  spec.name = "obs-e2e";
+  spec.start_month = 36;
+  spec.n_months = 12;
+  spec.months_per_file = 6;
+  spec.replica_hosts = {"sprite.llnl.gov", "pdsf.lbl.gov"};
+  spec.archive_on_tape = true;
+  EXPECT_TRUE(testbed.publish_dataset(spec).ok());
+  testbed.start_sensors(3);
+
+  // HRM: first stage misses (tape), the repeat hits the disk cache.
+  const std::string archived = "archive/obs-e2e/obs-e2e.36-42.ncx";
+  for (int round = 0; round < 2; ++round) {
+    bool staged = false;
+    testbed.hrm().stage(archived, [&staged](ec::Result<ec::Bytes> r) {
+      EXPECT_TRUE(r.ok());
+      staged = true;
+    });
+    EXPECT_TRUE(testbed.run_until_flag(staged));
+  }
+
+  erm::RequestOptions options;
+  options.transfer.parallelism = 2;
+  bool done = false;
+  erm::RequestResult result;
+  testbed.request_manager().submit(
+      {{"obs-e2e", "obs-e2e.36-42.ncx"}, {"obs-e2e", "obs-e2e.42-48.ncx"}},
+      options, [&](erm::RequestResult r) {
+        result = std::move(r);
+        done = true;
+      });
+  EXPECT_TRUE(testbed.run_until_flag(done));
+  EXPECT_TRUE(result.status.ok());
+  testbed.stop_sensors();
+
+  ScenarioResult out;
+  out.snapshot = testbed.simulation().metrics().snapshot(
+      testbed.simulation().now());
+  out.metrics_json = eo::to_json(out.snapshot);
+  out.trace_json = eo::to_chrome_trace(testbed.simulation().tracer());
+  out.spans = testbed.simulation().tracer().spans();
+  return out;
+}
+
+const eo::SpanRecord* find_parent(const std::vector<eo::SpanRecord>& spans,
+                                  const eo::SpanRecord& child) {
+  if (child.parent == 0 || child.parent > spans.size()) return nullptr;
+  return &spans[child.parent - 1];
+}
+
+}  // namespace
+
+TEST(ObsEndToEnd, RequestPathMetricsAndSpans) {
+  const ScenarioResult run = run_scenario();
+
+  // Acceptance metric families, all present and live.
+  const auto& snap = run.snapshot;
+  EXPECT_NE(snap.find("rm_queue_depth"), nullptr);
+  EXPECT_NE(snap.find("rm_active_workers"), nullptr);
+  EXPECT_GT(snap.family_total("rm_files_completed_total"), 0.0);
+  EXPECT_GT(snap.family_total("gridftp_channel_bytes_total"), 0.0);
+  EXPECT_GT(snap.family_total("rm_replica_selected_total"), 0.0);
+  // The manual stage pair guarantees one miss and one hit; the request
+  // manager may stage more through the HRM (the dataset is tape-archived).
+  EXPECT_GE(snap.value_or("hrm_cache_hits_total", {}), 1.0);
+  EXPECT_GE(snap.value_or("hrm_cache_misses_total", {}), 1.0);
+  const auto* stage_wait = snap.find("hrm_stage_wait_seconds");
+  ASSERT_NE(stage_wait, nullptr);
+  EXPECT_GE(stage_wait->count, 2u);
+
+  bool have_utilization = false;
+  bool have_forecast_error = false;
+  for (const auto& e : run.snapshot.entries) {
+    if (e.name == "net_resource_utilization") have_utilization = true;
+    if (e.name == "nws_forecast_error" && e.count > 0) {
+      have_forecast_error = true;
+    }
+  }
+  EXPECT_TRUE(have_utilization);
+  EXPECT_TRUE(have_forecast_error);
+
+  // Span nesting: a net.tcp span on a worker track chains up through
+  // gridftp.get -> rm.transfer -> rm.file.
+  bool found_chain = false;
+  for (const auto& span : run.spans) {
+    if (span.name != "net.tcp" || span.track == 0) continue;
+    const auto* ftp = find_parent(run.spans, span);
+    if (ftp == nullptr || ftp->name != "gridftp.get") continue;
+    const auto* transfer = find_parent(run.spans, *ftp);
+    if (transfer == nullptr || transfer->name != "rm.transfer") continue;
+    const auto* file = find_parent(run.spans, *transfer);
+    if (file == nullptr || file->name != "rm.file") continue;
+    EXPECT_EQ(ftp->track, span.track);
+    EXPECT_EQ(file->track, span.track);
+    found_chain = true;
+    break;
+  }
+  EXPECT_TRUE(found_chain);
+
+  expect_balanced_json(run.metrics_json);
+  expect_balanced_json(run.trace_json);
+}
+
+TEST(ObsEndToEnd, SameSeedRunsExportIdentically) {
+  const ScenarioResult a = run_scenario();
+  const ScenarioResult b = run_scenario();
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
