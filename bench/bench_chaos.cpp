@@ -1,0 +1,370 @@
+// Chaos bench: a Figure-8-style mixed-fault run through the whole stack.
+//
+// The paper's Figure 8 shows transfers surviving a power failure, DNS
+// problems and backbone trouble thanks to GridFTP restart.  This bench
+// generalizes that story: a seeded FaultInjector drives link brownouts, a
+// loss spike, GridFTP server and HRM crashes (with restarts), a tape-library
+// stall and in-flight payload corruption against a request-manager workload
+// of disk- and tape-resident files.  The self-healing path — RetryPolicy
+// backoff, circuit breakers, checksum re-fetch, HRM stage retries — must
+// complete every file.  The run executes twice with the same seed and the
+// outcomes must match exactly (determinism is what makes chaos testing
+// debuggable).
+#include <cinttypes>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "directory/service.hpp"
+#include "hrm/hrm.hpp"
+#include "mds/mds.hpp"
+#include "replica/catalog.hpp"
+#include "rm/request_manager.hpp"
+#include "sim/chaos.hpp"
+
+using namespace esg;
+using common::Bytes;
+using common::kMinute;
+using common::kSecond;
+using common::SimTime;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2001;
+constexpr Bytes kFileSize = 50'000'000;
+constexpr int kDiskFiles = 20;
+constexpr int kTapeFiles = 4;
+
+// The scripted part of the fault plan (generate() adds extras on top).
+constexpr SimTime kServerCrashStart = 40 * kSecond;
+constexpr common::SimDuration kServerCrashLength = 45 * kSecond;
+
+struct ChaosOutcome {
+  std::uint64_t timeline_hash = 0;
+  int completed = 0;
+  int failed = 0;
+  Bytes total_bytes = 0;
+  SimTime finished_at = 0;
+  double recovery_seconds = -1.0;  // server-crash begin -> next completion
+  double goodput_mbps = 0.0;
+  double checksum_failures = 0.0;
+  double corruption_refetches = 0.0;
+  double breaker_opens = 0.0;
+  double faults_injected = 0.0;
+  double gridftp_retries = 0.0;
+  double stage_retries = 0.0;
+  obs::MetricsSnapshot snapshot;
+};
+
+ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
+  sim::Simulation sim{seed};
+  net::Network net{sim};
+  rpc::Orb orb{net};
+  security::CertificateAuthority ca{"/O=Grid/CN=ESG CA"};
+  gridftp::ServerRegistry registry;
+
+  // Star topology: client site and two replica sites around a hub, plus an
+  // HPSS host co-located at lbnl.
+  for (const char* site : {"client-site", "hub", "lbnl", "isi"}) {
+    net.add_site(site);
+  }
+  net.add_link({.name = "client-uplink", .site_a = "client-site",
+                .site_b = "hub", .capacity = common::mbps(200),
+                .latency = 5 * common::kMillisecond});
+  net.add_link({.name = "lbnl-uplink", .site_a = "lbnl", .site_b = "hub",
+                .capacity = common::mbps(150),
+                .latency = 5 * common::kMillisecond});
+  net.add_link({.name = "isi-uplink", .site_a = "isi", .site_b = "hub",
+                .capacity = common::mbps(150),
+                .latency = 5 * common::kMillisecond});
+
+  auto add_host = [&](const char* name, const char* site) {
+    return net.add_host({.name = name, .site = site,
+                         .nic_rate = common::gbps(1),
+                         .cpu_rate = common::gbps(1),
+                         .disk_rate = common::gbps(1)});
+  };
+  auto* client_host = add_host("client", "client-site");
+  auto* catalog_host = add_host("catalog.host", "lbnl");
+  auto* mds_host = add_host("mds.host", "lbnl");
+
+  auto make_server = [&](const char* name, const char* site) {
+    auto* host = add_host(name, site);
+    security::GridMapFile gm;
+    gm.add("/O=Grid/CN=esg-user", "esg");
+    auto server = std::make_unique<gridftp::GridFtpServer>(
+        orb, *host, std::make_shared<storage::HostStorage>(), ca,
+        std::move(gm));
+    registry.add(server.get());
+    return server;
+  };
+  auto lbnl_server = make_server("lbnl.host", "lbnl");
+  auto isi_server = make_server("isi.host", "isi");
+  auto mss_server = make_server("hpss.lbl.gov", "lbnl");
+
+  hrm::HrmConfig hcfg;
+  hcfg.tape.drives = 2;
+  hcfg.tape.mount_time = 10 * kSecond;
+  hcfg.tape.avg_seek = 5 * kSecond;
+  hcfg.tape.read_rate = common::mbps(400);
+  hrm::HrmService hrm(orb, mss_server->host(), mss_server->storage_ptr(),
+                      hcfg);
+
+  security::CredentialWallet wallet;
+  wallet.set_identity(
+      ca.issue("/O=Grid/CN=esg-user", 0, 1000 * common::kHour));
+  gridftp::GridFtpClient client(orb, *client_host,
+                                std::make_shared<storage::HostStorage>(),
+                                std::move(wallet), registry);
+
+  directory::DirectoryService catalog_service(
+      orb, *catalog_host, std::make_shared<directory::DirectoryServer>());
+  mds::MdsService mds_service(orb, *mds_host);
+
+  // ---- seed catalog, replicas and MDS forecasts ----
+  replica::ReplicaCatalog catalog(
+      directory::DirectoryClient(orb, *client_host, *catalog_host), "esg");
+  catalog.create_catalog([](common::Status) {});
+  catalog.create_collection("chaos-2001", [](common::Status) {});
+  replica::LocationInfo lbnl{};
+  lbnl.name = "lbnl-disk";
+  lbnl.hostname = "lbnl.host";
+  lbnl.path = "co2";
+  replica::LocationInfo isi = lbnl;
+  isi.name = "isi-disk";
+  isi.hostname = "isi.host";
+  replica::LocationInfo mss{};
+  mss.name = "lbnl-hpss";
+  mss.hostname = "hpss.lbl.gov";
+  mss.path = "archive";
+  mss.storage_type = "mss";
+
+  std::vector<rm::FileRequest> wanted;
+  for (int i = 0; i < kDiskFiles; ++i) {
+    const std::string name = "month." + std::to_string(i) + ".ncx";
+    catalog.register_logical_file("chaos-2001", {name, kFileSize},
+                                  [](common::Status) {});
+    lbnl.files.push_back(name);
+    isi.files.push_back(name);
+    for (auto* server : {lbnl_server.get(), isi_server.get()}) {
+      (void)server->storage().put(
+          storage::FileObject::synthetic("co2/" + name, kFileSize));
+    }
+    wanted.push_back({"chaos-2001", name});
+  }
+  for (int i = 0; i < kTapeFiles; ++i) {
+    const std::string name = "deep." + std::to_string(i) + ".ncx";
+    catalog.register_logical_file("chaos-2001", {name, kFileSize},
+                                  [](common::Status) {});
+    mss.files.push_back(name);
+    hrm.archive(storage::FileObject::synthetic("archive/" + name, kFileSize));
+    wanted.push_back({"chaos-2001", name});
+  }
+  catalog.register_location("chaos-2001", lbnl, [](common::Status) {});
+  catalog.register_location("chaos-2001", isi, [](common::Status) {});
+  catalog.register_location("chaos-2001", mss, [](common::Status) {});
+
+  auto mds = mds::MdsClient(orb, *client_host, *mds_host);
+  for (const auto& [src, bw] :
+       std::vector<std::pair<std::string, common::Rate>>{
+           {"lbnl.host", common::mbps(120)},
+           {"isi.host", common::mbps(80)},
+           {"hpss.lbl.gov", common::mbps(100)}}) {
+    mds::NetworkRecord rec;
+    rec.src_host = src;
+    rec.dst_host = "client";
+    rec.bandwidth = bw;
+    rec.latency = 10 * common::kMillisecond;
+    mds.publish_network(rec, [](common::Status) {});
+  }
+  sim.run();  // drain the seeding RPCs before faults/workload start
+
+  // ---- fault plan: scripted core + seeded extras ----
+  sim::FaultInjector injector(seed);
+  injector
+      .add({sim::FaultKind::brownout, "lbnl-uplink", 15 * kSecond,
+            60 * kSecond, 0.3, "lbnl uplink brownout"})
+      .add({sim::FaultKind::stage_stall, "tape", 20 * kSecond, 50 * kSecond,
+            0.0, "tape robot arm jam"})
+      .add({sim::FaultKind::service_crash, "lbnl.host", kServerCrashStart,
+            kServerCrashLength, 0.0, "lbnl GridFTP crash"})
+      .add({sim::FaultKind::service_crash, "hpss.lbl.gov", 70 * kSecond,
+            25 * kSecond, 0.0, "HRM crash"})
+      .add({sim::FaultKind::loss_spike, "client-uplink", 90 * kSecond,
+            40 * kSecond, 0.005, "client uplink loss spike"})
+      .add({sim::FaultKind::corruption, "client", 10 * kSecond, 0, 0.0,
+            "bit flip"})
+      .add({sim::FaultKind::corruption, "client", 120 * kSecond, 0, 0.0,
+            "bit flip"});
+  sim::ChaosProfile extras;
+  extras.brownout.targets = {"isi-uplink"};
+  extras.brownout.mean_interval = 4 * kMinute;
+  extras.brownout.min_duration = 20 * kSecond;
+  extras.brownout.max_duration = kMinute;
+  extras.brownout.min_magnitude = 0.4;
+  extras.brownout.max_magnitude = 0.7;
+  injector.generate(extras, 10 * kMinute);
+
+  sim::FaultHooks hooks;
+  hooks.brownout = [&](const sim::FaultEvent& e, bool begin) {
+    if (auto* link = net.find_link(e.target)) {
+      net.set_link_brownout(*link, begin ? e.magnitude : 1.0);
+    }
+  };
+  hooks.loss_spike = [&](const sim::FaultEvent& e, bool begin) {
+    if (auto* link = net.find_link(e.target)) {
+      net.set_link_loss(*link, begin ? e.magnitude : link->nominal_loss());
+    }
+  };
+  hooks.service_crash = [&](const sim::FaultEvent& e, bool begin) {
+    if (e.target == "lbnl.host") {
+      begin ? lbnl_server->crash() : lbnl_server->restart();
+    } else if (e.target == "hpss.lbl.gov") {
+      begin ? hrm.crash() : hrm.restart();
+    }
+  };
+  hooks.stage_stall = [&](const sim::FaultEvent&, bool begin) {
+    hrm.tape().set_stalled(begin);
+  };
+  hooks.corruption = [&](const sim::FaultEvent&) {
+    client.inject_corruption(1);
+  };
+  injector.arm(sim, std::move(hooks));
+  if (verbose) {
+    for (const auto& e : injector.plan()) {
+      std::printf("  [%8s] %-13s %-13s for %s\n",
+                  common::format_time(e.start).c_str(),
+                  sim::fault_kind_name(e.kind), e.target.c_str(),
+                  common::format_time(e.duration).c_str());
+    }
+  }
+
+  // ---- workload ----
+  rm::BreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = 30 * kSecond;
+  rm::RequestManager manager(orb, *client_host, catalog,
+                             mds::MdsClient(orb, *client_host, *mds_host),
+                             client, nullptr, breaker);
+
+  rm::RequestOptions opts;
+  opts.transfer.buffer_size = 4 * common::kMiB;
+  opts.transfer.parallelism = 2;
+  opts.transfer.stall_timeout = 10 * kSecond;
+  opts.reliability.max_attempts = 40;
+  opts.reliability.retry_backoff = 2 * kSecond;
+  opts.reliability.max_backoff = 30 * kSecond;
+  opts.reliability.jitter = 0.25;
+  opts.stage_retry.max_attempts = 8;
+  opts.stage_retry.retry_backoff = 10 * kSecond;
+  opts.max_concurrent = 8;
+
+  ChaosOutcome out;
+  out.timeline_hash = injector.timeline_hash();
+  bool done = false;
+  rm::RequestResult result;
+  manager.submit(wanted, opts, [&](rm::RequestResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  sim.run();
+  if (!done) return out;  // wedged — the zero counts will fail the checks
+
+  out.finished_at = sim.now();
+  out.total_bytes = result.total_bytes;
+  for (const auto& f : result.files) {
+    if (f.status.ok()) {
+      ++out.completed;
+      const SimTime t = f.finished;
+      if (t >= kServerCrashStart &&
+          (out.recovery_seconds < 0 ||
+           common::to_seconds(t - kServerCrashStart) < out.recovery_seconds)) {
+        out.recovery_seconds = common::to_seconds(t - kServerCrashStart);
+      }
+    } else {
+      ++out.failed;
+      if (verbose) {
+        std::printf("  FAILED %s: %s\n", f.request.filename.c_str(),
+                    f.status.error().to_string().c_str());
+      }
+    }
+  }
+  out.goodput_mbps = common::to_mbps(
+      static_cast<double>(out.total_bytes) /
+      common::to_seconds(result.finished - result.started));
+  out.snapshot = sim.metrics().snapshot(sim.now());
+  out.checksum_failures =
+      out.snapshot.value_or("gridftp_checksum_failures_total", {});
+  out.corruption_refetches =
+      out.snapshot.value_or("gridftp_corruption_refetches_total", {});
+  out.breaker_opens = out.snapshot.family_total("rm_breaker_open_total");
+  out.faults_injected =
+      out.snapshot.family_total("chaos_faults_injected_total");
+  out.gridftp_retries = out.snapshot.value_or("gridftp_retries_total", {});
+  out.stage_retries = out.snapshot.value_or("rm_stage_retries_total", {});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Chaos run — mixed faults vs the self-healing transfer path");
+  std::printf(
+      "%d disk + %d tape files of %lld MB through the request manager while\n"
+      "a seeded FaultInjector delivers brownouts, a loss spike, GridFTP and\n"
+      "HRM crashes, a tape stall and two corrupted payloads.  Fault plan:\n",
+      kDiskFiles, kTapeFiles,
+      static_cast<long long>(kFileSize / 1'000'000));
+
+  ChaosOutcome a = run_world(kSeed, /*verbose=*/true);
+  ChaosOutcome b = run_world(kSeed, /*verbose=*/false);
+
+  const bool deterministic = a.timeline_hash == b.timeline_hash &&
+                             a.completed == b.completed &&
+                             a.failed == b.failed &&
+                             a.total_bytes == b.total_bytes &&
+                             a.finished_at == b.finished_at;
+  const int total_files = kDiskFiles + kTapeFiles;
+  const bool all_complete = a.completed == total_files && a.failed == 0;
+
+  char hash_buf[32];
+  std::snprintf(hash_buf, sizeof hash_buf, "%016" PRIx64, a.timeline_hash);
+  std::vector<bench::Row> rows = {
+      {"files completed", std::to_string(total_files) + " (all)",
+       std::to_string(a.completed) + " of " + std::to_string(total_files)},
+      {"files permanently failed", "0", std::to_string(a.failed)},
+      {"faults injected", ">= 7 scripted",
+       std::to_string(static_cast<int>(a.faults_injected))},
+      {"goodput under chaos", "(degraded vs clean)",
+       common::format_rate(common::mbps(a.goodput_mbps))},
+      {"recovery after server crash", "transfers resume",
+       std::to_string(a.recovery_seconds) + " s to next completion"},
+      {"checksum failures caught", "2 (both injected)",
+       std::to_string(static_cast<int>(a.checksum_failures))},
+      {"corruption re-fetches", "2",
+       std::to_string(static_cast<int>(a.corruption_refetches))},
+      {"breaker trips", ">= 1",
+       std::to_string(static_cast<int>(a.breaker_opens))},
+      {"gridftp retries", "(several)",
+       std::to_string(static_cast<int>(a.gridftp_retries))},
+      {"stage retries", "(>= 0)",
+       std::to_string(static_cast<int>(a.stage_retries))},
+      {"same-seed runs identical", "yes", deterministic ? "yes" : "NO"},
+      {"fault timeline hash", "(seeded)", hash_buf},
+  };
+  bench::print_table(rows);
+  bench::write_bench_json("chaos", rows, a.snapshot);
+
+  if (!all_complete || !deterministic) {
+    std::printf("\nCHAOS RUN FAILED: %s%s\n",
+                all_complete ? "" : "not every file completed; ",
+                deterministic ? "" : "same-seed runs diverged");
+    return 1;
+  }
+  std::printf(
+      "\nevery transfer completed with verified checksums despite %d faults;\n"
+      "both same-seed runs produced identical outcomes.\n",
+      static_cast<int>(a.faults_injected));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Unified retry/backoff policy.
+//
+// Every self-healing layer in the stack retries something: GridFTP's
+// reliability plugin re-fetches from alternate replicas, the request manager
+// re-issues HRM stage requests, clients re-poll flaky services.  Those knobs
+// used to be scattered (a constant `retry_backoff` here, a `stage_timeout`
+// there); RetryPolicy gives them one shape — exponential backoff with a cap
+// and deterministic seeded jitter, an optional per-attempt timeout, and an
+// overall deadline.  Layers inherit or embed the policy so configuration
+// reads uniformly at every level.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace esg::common {
+
+struct RetryPolicy {
+  /// Give up after this many attempts (the first try counts as attempt 1).
+  int max_attempts = 20;
+  /// Backoff before the first retry; retry n waits roughly
+  /// retry_backoff * backoff_multiplier^(n-1), capped at max_backoff.
+  SimDuration retry_backoff = 5 * kSecond;
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = 2 * kMinute;
+  /// Jitter fraction: each backoff is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter), drawn from the caller's (seeded) Rng so runs
+  /// replay exactly.  0 disables jitter.
+  double jitter = 0.0;
+  /// Budget for a single attempt; 0 = use the layer's transport timeout.
+  SimDuration attempt_timeout = 0;
+  /// Overall budget measured from the first attempt; 0 = unlimited.
+  SimDuration deadline = 0;
+
+  bool out_of_attempts(int attempts) const { return attempts >= max_attempts; }
+
+  bool past_deadline(SimTime started, SimTime now) const {
+    return deadline > 0 && now - started >= deadline;
+  }
+
+  /// Backoff before retry number `failures` (1 = after the first failure).
+  SimDuration backoff_after(int failures, Rng& rng) const {
+    double d = static_cast<double>(retry_backoff);
+    for (int i = 1; i < failures; ++i) {
+      d *= backoff_multiplier;
+      if (d >= static_cast<double>(max_backoff)) break;
+    }
+    d = std::min(d, static_cast<double>(max_backoff));
+    if (jitter > 0.0) d *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    return static_cast<SimDuration>(std::max(0.0, d));
+  }
+};
+
+}  // namespace esg::common

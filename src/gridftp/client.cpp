@@ -35,6 +35,8 @@ struct GridFtpClient::Op : TransferHandle,
   TransferResult result;
   std::unique_ptr<net::TcpTransfer> tcp;
   std::uint64_t ticket = 0;
+  std::uint64_t expected_checksum = 0;
+  bool have_checksum = false;
   Bytes effective_size = 0;
   Bytes attempt_bytes = 0;
   bool warm = false;
@@ -86,6 +88,22 @@ struct GridFtpClient::Op : TransferHandle,
 
   void succeed() {
     if (finished) return;
+    // End-to-end integrity: compare the landed payload against the checksum
+    // the server announced at RETR time.  Covers the whole data path —
+    // injection anywhere between RETR and landing fails the transfer.
+    if (kind == Kind::get && options.verify_checksum && have_checksum) {
+      auto landed = client->storage_->get(local_name);
+      const std::uint64_t actual =
+          landed ? storage::file_checksum(*landed) : ~expected_checksum;
+      if (actual != expected_checksum) {
+        sim().metrics().counter("gridftp_checksum_failures_total").add();
+        span.set_attr("checksum", "mismatch");
+        return fail(Error{Errc::io_error,
+                          "checksum mismatch on " + local_name});
+      }
+      sim().metrics().counter("gridftp_checksums_verified_total").add();
+      result.checksum_verified = true;
+    }
     finished = true;
     result.status = common::ok_status();
     result.bytes_transferred = attempt_bytes;
@@ -153,6 +171,11 @@ struct GridFtpClient::Op : TransferHandle,
               }
               self->ticket = *ticket;
               self->effective_size = *size;
+              // Checksum announcement (optional: older servers omit it).
+              if (auto checksum = reader.u64()) {
+                self->expected_checksum = *checksum;
+                self->have_checksum = true;
+              }
               if (self->kind == Kind::third_party) {
                 self->issue_stor();
               } else {
@@ -209,7 +232,7 @@ struct GridFtpClient::Op : TransferHandle,
     const Bytes remaining =
         std::max<Bytes>(0, effective_size - options.restart_offset);
     if (remaining == 0) {
-      attach_content();
+      if (!attach_content()) return fail_lost_ticket();
       return succeed();
     }
 
@@ -272,7 +295,7 @@ struct GridFtpClient::Op : TransferHandle,
     cbs.on_complete = [self](Status st) {
       if (self->finished) return;
       if (!st.ok()) return self->fail(st.error());
-      self->attach_content();
+      if (!self->attach_content()) return self->fail_lost_ticket();
       self->succeed();
     };
     tcp = std::make_unique<net::TcpTransfer>(client->orb_.network(),
@@ -280,26 +303,40 @@ struct GridFtpClient::Op : TransferHandle,
                                              tcp_opts, std::move(cbs));
   }
 
+  /// The server restarted between RETR and data completion: its ticket
+  /// table died with it, so the bytes that arrived are unattributable.
+  void fail_lost_ticket() {
+    fail(Error{Errc::unavailable, "transfer ticket lost (server restarted)"});
+  }
+
   /// Emulator data plane: materialize the transferred file at the sink.
-  void attach_content() {
+  /// Returns false when the source server lost the ticket (crash/restart
+  /// mid-transfer); true otherwise, including when no emulated server is
+  /// wired into the registry (content simply stays synthetic).
+  bool attach_content() {
     storage::FileObject file;
     if (kind == Kind::put) {
       auto local = client->storage_->get(local_name);
-      if (!local) return;
+      if (!local) return true;
       file = std::move(*local);
       file.name = dst_path;
       if (GridFtpServer* dst = client->registry_.find(dst_host->name())) {
         (void)dst->storage().put(std::move(file));
       }
-      return;
+      return true;
     }
     GridFtpServer* src = client->registry_.find(src_host->name());
-    if (src == nullptr) return;
+    if (src == nullptr) return true;
     auto resolved = src->resolve_ticket(ticket);
-    if (!resolved) return;
+    if (!resolved) return false;
     file = std::move(*resolved);
     if (kind == Kind::get) {
       file.name = local_name;
+      if (client->corrupt_next_gets_ > 0) {
+        --client->corrupt_next_gets_;
+        storage::corrupt_file(file, ticket);
+        sim().metrics().counter("gridftp_corruptions_injected_total").add();
+      }
       (void)client->storage_->put(std::move(file));
     } else {  // third_party
       file.name = dst_path;
@@ -307,6 +344,7 @@ struct GridFtpClient::Op : TransferHandle,
         (void)dst->storage().put(std::move(file));
       }
     }
+    return true;
   }
 };
 

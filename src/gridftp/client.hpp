@@ -89,6 +89,11 @@ class GridFtpClient {
   /// credentials rotate).  Harmless if absent.
   void invalidate_channels(const std::string& server_host);
 
+  /// Fault injection: corrupt the payload of the next `transfers` GETs as
+  /// they land, so checksum verification (and its recovery path) can be
+  /// exercised deterministically.
+  void inject_corruption(int transfers = 1) { corrupt_next_gets_ += transfers; }
+
   const ClientStats& stats() const { return stats_; }
   const net::Host& local_host() const { return local_; }
   storage::HostStorage& local_storage() { return *storage_; }
@@ -121,6 +126,7 @@ class GridFtpClient {
   std::map<std::string, Session> sessions_;
   std::map<std::string, WarmChannel> warm_channels_;
   SimDuration channel_idle_timeout_ = 60 * common::kSecond;
+  int corrupt_next_gets_ = 0;
   ClientStats stats_;
   // ClientStats mirrored into the simulation's metrics registry so snapshots
   // and the Prometheus dump see the same numbers the ablations read.

@@ -44,7 +44,13 @@ void ReliableGet::abort() {
 
 void ReliableGet::attempt() {
   if (finished_) return;
-  if (result_.attempts >= reliability_.max_attempts) {
+  if (reliability_.past_deadline(result_.started,
+                                 client_.simulation().now())) {
+    return finish(Error{Errc::timed_out,
+                        "deadline exceeded after " +
+                            std::to_string(result_.attempts) + " attempts"});
+  }
+  if (reliability_.out_of_attempts(result_.attempts)) {
     return finish(Error{Errc::timed_out,
                         "gave up after " +
                             std::to_string(result_.attempts) + " attempts"});
@@ -57,6 +63,7 @@ void ReliableGet::attempt() {
       client_.simulation().metrics().counter("gridftp_restarts_total").add();
     }
   }
+  select_replica();
 
   TransferOptions opts = options_;
   opts.restart_offset = offset_;
@@ -77,6 +84,75 @@ void ReliableGet::attempt() {
       [self](TransferResult r) { self->attempt_finished(std::move(r)); });
   window_start_bytes_ = offset_;
   arm_rate_monitor();
+  arm_attempt_timer();
+}
+
+void ReliableGet::select_replica() {
+  if (!reliability_.replica_allowed) return;
+  for (std::size_t probe = 0; probe < replicas_.size(); ++probe) {
+    const std::size_t idx = (replica_index_ + probe) % replicas_.size();
+    if (reliability_.replica_allowed(replicas_[idx].host)) {
+      if (probe > 0) {
+        client_.simulation()
+            .metrics()
+            .counter("gridftp_breaker_skips_total")
+            .add(probe);
+      }
+      replica_index_ += probe;
+      return;
+    }
+  }
+  // Every candidate's breaker refused.  Proceed with the round-robin choice
+  // as a last resort — stalling forever would be worse than probing.
+}
+
+void ReliableGet::rotate_replica() {
+  ++replica_index_;
+  if (replicas_.size() > 1) {
+    ++result_.replica_switches;
+    client_.simulation()
+        .metrics()
+        .counter("gridftp_replica_switches_total")
+        .add();
+  }
+}
+
+void ReliableGet::schedule_retry() {
+  if (finished_) return;
+  const SimDuration delay =
+      reliability_.backoff_after(result_.attempts, client_.simulation().rng());
+  client_.simulation()
+      .metrics()
+      .histogram("gridftp_retry_backoff_seconds", obs::duration_boundaries())
+      .observe(common::to_seconds(delay));
+  auto self = shared_from_this();
+  client_.simulation().schedule_after(delay, [self] { self->attempt(); });
+}
+
+void ReliableGet::report_outcome(bool ok) {
+  if (reliability_.on_attempt_result) {
+    reliability_.on_attempt_result(current_replica().host, ok);
+  }
+}
+
+void ReliableGet::arm_attempt_timer() {
+  attempt_timer_.cancel();
+  if (reliability_.attempt_timeout <= 0) return;
+  auto self = shared_from_this();
+  attempt_timer_ = client_.simulation().schedule_after(
+      reliability_.attempt_timeout, [self] {
+        if (self->finished_ || !self->handle_ || !self->handle_->active()) {
+          return;
+        }
+        self->client_.simulation()
+            .metrics()
+            .counter("gridftp_attempt_timeouts_total")
+            .add();
+        self->handle_->abort();
+        self->report_outcome(false);
+        self->rotate_replica();
+        self->schedule_retry();
+      });
 }
 
 void ReliableGet::arm_rate_monitor() {
@@ -95,16 +171,12 @@ void ReliableGet::arm_rate_monitor() {
             common::to_seconds(self->reliability_.eval_window);
         if (achieved < self->reliability_.min_rate) {
           // Too slow: abandon this replica and move to the next, resuming
-          // from the restart marker.
+          // from the restart marker immediately (no backoff — the replica
+          // is alive, just underperforming; paper §7 semantics).  Slowness
+          // still counts against the replica's health.
           self->handle_->abort();
-          ++self->replica_index_;
-          if (self->replicas_.size() > 1) {
-            ++self->result_.replica_switches;
-            self->client_.simulation()
-                .metrics()
-                .counter("gridftp_replica_switches_total")
-                .add();
-          }
+          self->report_outcome(false);
+          self->rotate_replica();
           self->attempt();
           return false;
         }
@@ -115,34 +187,38 @@ void ReliableGet::arm_rate_monitor() {
 void ReliableGet::attempt_finished(TransferResult r) {
   if (finished_) return;
   monitor_.cancel();
+  attempt_timer_.cancel();
   result_.total_bytes = offset_;
   if (r.status.ok()) {
+    report_outcome(true);
     // The server's completion reply is authoritative for the byte count;
     // progress-delta integerization can run a few bytes short.
     offset_ = std::max(offset_, r.file_size);
     return finish(common::ok_status());
   }
-  // Failed attempt: advance to the next replica (round-robin) and retry
-  // from the marker after a backoff.  The client has already dropped its
-  // session if the server looked dead, so re-authentication happens
-  // naturally on the retry.
-  ++replica_index_;
-  if (replicas_.size() > 1) {
-    ++result_.replica_switches;
+  report_outcome(false);
+  if (r.status.error().code == Errc::io_error) {
+    // Integrity failure: the landed bytes cannot be trusted, so drop the
+    // restart marker and re-fetch the file whole from the next replica.
+    offset_ = 0;
     client_.simulation()
         .metrics()
-        .counter("gridftp_replica_switches_total")
+        .counter("gridftp_corruption_refetches_total")
         .add();
   }
-  auto self = shared_from_this();
-  client_.simulation().schedule_after(reliability_.retry_backoff,
-                                      [self] { self->attempt(); });
+  // Failed attempt: advance to the next replica (round-robin) and retry
+  // from the marker after an exponential backoff.  The client has already
+  // dropped its session if the server looked dead, so re-authentication
+  // happens naturally on the retry.
+  rotate_replica();
+  schedule_retry();
 }
 
 void ReliableGet::finish(Status status) {
   if (finished_) return;
   finished_ = true;
   monitor_.cancel();
+  attempt_timer_.cancel();
   result_.status = std::move(status);
   result_.finished = client_.simulation().now();
   result_.total_bytes = offset_;

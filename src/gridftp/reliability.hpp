@@ -11,22 +11,40 @@
 //   * a rate monitor: if the average rate over `eval_window` falls below
 //     `min_rate`, the current attempt is abandoned and the next replica
 //     (round-robin over the candidate list) is tried;
-//   * bounded retries with a configurable backoff.
+//   * bounded retries governed by a common::RetryPolicy (exponential
+//     backoff with cap and seeded jitter, per-attempt timeout, deadline);
+//   * circuit-breaker hooks: replica selection consults `replica_allowed`
+//     and every attempt outcome is reported through `on_attempt_result`,
+//     so a health registry (rm/health.hpp) can steer traffic away from
+//     servers that keep failing;
+//   * integrity recovery: a checksum mismatch (io_error) drops the restart
+//     marker — corrupt bytes are not resumed over — and re-fetches whole
+//     from the next replica.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "gridftp/client.hpp"
 
 namespace esg::gridftp {
 
-struct ReliabilityOptions {
+/// Retry knobs (max_attempts, retry_backoff, backoff_multiplier, jitter,
+/// attempt_timeout, deadline) are inherited from common::RetryPolicy.
+struct ReliabilityOptions : common::RetryPolicy {
   /// Switch replicas when the recent rate drops below this (0 = disabled).
   Rate min_rate = 0.0;
   SimDuration eval_window = 10 * common::kSecond;
-  int max_attempts = 20;
-  SimDuration retry_backoff = 5 * common::kSecond;
+  /// Circuit breaker: consulted (per attempt) before picking a replica;
+  /// refused hosts are skipped unless every candidate is refused, in which
+  /// case the round-robin choice proceeds as a last resort.  Unset = allow.
+  std::function<bool(const std::string& host)> replica_allowed;
+  /// Health feedback: called with each attempt's host and outcome (slow
+  /// replicas abandoned by the rate monitor count as failures).
+  std::function<void(const std::string& host, bool ok)> on_attempt_result;
 };
 
 struct ReliableResult {
@@ -63,7 +81,12 @@ class ReliableGet : public std::enable_shared_from_this<ReliableGet> {
 
   void attempt();
   void attempt_finished(TransferResult r);
+  void select_replica();
+  void rotate_replica();
+  void schedule_retry();
+  void report_outcome(bool ok);
   void arm_rate_monitor();
+  void arm_attempt_timer();
   void finish(common::Status status);
 
   GridFtpClient& client_;
@@ -76,6 +99,7 @@ class ReliableGet : public std::enable_shared_from_this<ReliableGet> {
 
   std::shared_ptr<TransferHandle> handle_;
   sim::EventHandle monitor_;
+  sim::EventHandle attempt_timer_;
   ReliableResult result_;
   Bytes offset_ = 0;          // restart marker: bytes already landed
   Bytes window_start_bytes_ = 0;

@@ -113,6 +113,27 @@ GridFtpServer::GridFtpServer(rpc::Orb& orb, const net::Host& host,
 
 GridFtpServer::~GridFtpServer() { orb_.unregister_service(host_, "gridftp"); }
 
+void GridFtpServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Process state dies with the process: sessions must be re-established
+  // and unresolved RETR/STOR tickets are gone (clients holding one see the
+  // transfer fail as "ticket lost").
+  sessions_.clear();
+  tickets_.clear();
+  orb_.set_service_down(host_, "gridftp", true);
+  // The whole box reboots: take the NIC down too so in-flight data
+  // connections stall instead of completing against a dead server.
+  orb_.network().apply_outage(host_.name(), true);
+}
+
+void GridFtpServer::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  orb_.network().apply_outage(host_.name(), false);
+  orb_.set_service_down(host_, "gridftp", false);
+}
+
 void GridFtpServer::register_eret_module(const std::string& name,
                                          EretModule module) {
   eret_modules_[name] = std::move(module);
@@ -218,6 +239,8 @@ void GridFtpServer::handle_retr(ByteReader& r, rpc::Reply reply) {
   ByteWriter w;
   w.u64(ticket);
   w.i64(effective.size);
+  // Announce the payload checksum so the receiver can verify end to end.
+  w.u64(storage::file_checksum(effective));
   reply(w.take());
 }
 

@@ -56,6 +56,14 @@ class GridFtpServer {
   /// ERET-processed) file object so the receiving side can attach content.
   common::Result<storage::FileObject> resolve_ticket(std::uint64_t ticket);
 
+  /// Crash the server process: all sessions and outstanding transfer
+  /// tickets are lost and the host's NIC goes dark, so in-flight data
+  /// connections stall until the client's timeout fires.  restart() brings
+  /// the service back with empty state — clients must re-authenticate.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
   /// Sessions established since construction (auth cost accounting).
   std::uint64_t sessions_established() const { return sessions_established_; }
 
@@ -82,6 +90,7 @@ class GridFtpServer {
   std::uint64_t next_session_ = 1;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t sessions_established_ = 0;
+  bool crashed_ = false;
 };
 
 }  // namespace esg::gridftp

@@ -36,6 +36,10 @@ struct TransferOptions {
   bool large_file_support = true;         // 64-bit sizes (post-SC'2000)
   std::string eret_module;                // "" = plain RETR
   std::string eret_params;
+  /// Verify the landed payload against the server's announced fnv1a64
+  /// checksum (GET only).  A mismatch fails the transfer with io_error so
+  /// the reliability layer can re-fetch from another replica.
+  bool verify_checksum = true;
   /// Trace track the operation's spans land on (see obs/trace.hpp); the
   /// request manager sets this to the per-file worker track so GridFTP and
   /// network spans nest under the worker's in the exported Chrome trace.
@@ -48,6 +52,9 @@ struct TransferResult {
   Bytes file_size = 0;          // effective size after any ERET processing
   SimTime started = 0;
   SimTime finished = 0;
+  /// True when the landed file's checksum matched the server's (GET with
+  /// verify_checksum against a checksum-announcing server).
+  bool checksum_verified = false;
 
   Rate average_rate() const {
     const double secs = common::to_seconds(finished - started);

@@ -40,6 +40,29 @@ HrmService::HrmService(rpc::Orb& orb, const net::Host& host,
 
 HrmService::~HrmService() { orb_.unregister_service(host_, "hrm"); }
 
+void HrmService::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  orb_.set_service_down(host_, "hrm", true);
+  // The stage queue lived in process memory: every caller waiting on a
+  // STAGE loses its request.  Tape reads already dispatched to drives
+  // complete into the cache, but nobody is left to be told.
+  auto lost = std::move(staging_);
+  staging_.clear();
+  for (auto& [name, waiters] : lost) {
+    for (auto& w : waiters) {
+      w(Error{Errc::unavailable, "hrm crashed during stage of " + name});
+    }
+  }
+  tape_depth_->set(static_cast<double>(tape_->queue_depth()));
+}
+
+void HrmService::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  orb_.set_service_down(host_, "hrm", false);
+}
+
 void HrmService::stage(const std::string& name,
                        std::function<void(Result<Bytes>)> done) {
   if (cache_.contains(name)) {

@@ -44,6 +44,14 @@ class HrmService {
   /// Archive a file onto tape (dataset publication path).
   void archive(storage::FileObject file) { tape_->store(std::move(file)); }
 
+  /// Crash the HRM process: the stage-queue state (waiter lists) is lost —
+  /// every pending stage fails with unavailable — and the "hrm" service
+  /// stops answering until restart().  The tape library and disk cache
+  /// (hardware / on-disk state) survive.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
   std::uint64_t cache_hits() const { return cache_hits_; }
   std::uint64_t cache_misses() const { return cache_misses_; }
 
@@ -71,6 +79,7 @@ class HrmService {
       staging_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  bool crashed_ = false;
   // Registry mirrors (owned by the simulation's MetricsRegistry).
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;

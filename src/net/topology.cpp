@@ -22,6 +22,8 @@ Link* Network::add_link(const LinkConfig& config) {
   link->site_b_ = config.site_b;
   link->latency_ = config.latency;
   link->loss_ = config.loss;
+  link->nominal_capacity_ = config.capacity;
+  link->nominal_loss_ = config.loss;
   link->forward_ = fluid_.add_resource("link:" + config.name + ":fwd",
                                        config.capacity);
   link->backward_ = fluid_.add_resource("link:" + config.name + ":bwd",
@@ -193,6 +195,19 @@ void Network::set_host_down(Host& host, bool down) {
 void Network::set_link_down(Link& link, bool down) {
   fluid_.set_down(link.forward_, down);
   fluid_.set_down(link.backward_, down);
+}
+
+void Network::set_link_brownout(Link& link, double fraction) {
+  const Rate capacity =
+      link.nominal_capacity_ * std::clamp(fraction, 0.0, 1.0);
+  fluid_.set_capacity(link.forward_, capacity);
+  fluid_.set_capacity(link.backward_, capacity);
+}
+
+void Network::set_link_loss(Link& link, double loss) {
+  link.loss_ = std::clamp(loss, 0.0, 1.0);
+  // Routes cache the folded end-to-end loss; recompute lazily.
+  route_cache_.clear();
 }
 
 void Network::apply_outage(const std::string& target, bool down) {

@@ -42,6 +42,10 @@ class Link {
   const std::string& site_b() const { return site_b_; }
   SimDuration latency() const { return latency_; }
   double loss() const { return loss_; }
+  /// Configured (healthy) values, kept so chaos injection can restore a
+  /// link after a brownout or loss spike ends.
+  Rate nominal_capacity() const { return nominal_capacity_; }
+  double nominal_loss() const { return nominal_loss_; }
   Resource* forward() const { return forward_; }   // a -> b direction
   Resource* backward() const { return backward_; } // b -> a direction
 
@@ -50,6 +54,8 @@ class Link {
   std::string name_, site_a_, site_b_;
   SimDuration latency_ = 0;
   double loss_ = 0.0;
+  Rate nominal_capacity_ = 0.0;
+  double nominal_loss_ = 0.0;
   Resource* forward_ = nullptr;
   Resource* backward_ = nullptr;
 };
@@ -121,6 +127,17 @@ class Network {
 
   /// Take a WAN link down/up in both directions.
   void set_link_down(Link& link, bool down);
+
+  /// Brownout injection: degrade a link to `fraction` of its nominal
+  /// capacity in both directions (0 = as good as down, 1 = restore).  Flows
+  /// in progress re-share the reduced capacity immediately.
+  void set_link_brownout(Link& link, double fraction);
+
+  /// Loss-spike injection: change a link's packet-loss probability.  The
+  /// Mathis cap is computed at connection setup, so spikes throttle
+  /// transfers that *start* during the spike — established flows ride it
+  /// out, exactly like real long-lived TCP under transient loss.
+  void set_link_loss(Link& link, double loss);
 
   /// Apply an outage by name: matches a link name or a host name.
   /// Unknown targets are ignored (they may be service-level targets).

@@ -1,0 +1,139 @@
+#include "rm/health.hpp"
+
+namespace esg::rm {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+ReplicaHealthRegistry::ReplicaHealthRegistry(sim::Simulation& simulation,
+                                             BreakerConfig config)
+    : sim_(simulation), config_(config) {}
+
+ReplicaHealthRegistry::Entry& ReplicaHealthRegistry::entry(
+    const std::string& host) {
+  auto it = entries_.find(host);
+  if (it == entries_.end()) {
+    it = entries_.emplace(host, Entry{}).first;
+    it->second.gauge =
+        &sim_.metrics().gauge("rm_breaker_state", {{"host", host}});
+    it->second.gauge->set(0.0);
+  }
+  return it->second;
+}
+
+void ReplicaHealthRegistry::transition(const std::string& host, Entry& e,
+                                       BreakerState to) {
+  if (e.state == to) return;
+  e.state = to;
+  e.gauge->set(static_cast<double>(to));
+  if (to == BreakerState::open) {
+    e.opened_at = sim_.now();
+    e.probe_successes = 0;
+    sim_.metrics()
+        .counter("rm_breaker_open_total", {{"host", host}})
+        .add();
+  }
+  if (to == BreakerState::half_open) e.probe_successes = 0;
+  if (to == BreakerState::closed) e.failures = 0;
+}
+
+bool ReplicaHealthRegistry::allow(const std::string& host) {
+  Entry& e = entry(host);
+  const auto now = sim_.now();
+  switch (e.state) {
+    case BreakerState::closed:
+      return true;
+    case BreakerState::open:
+      if (now - e.opened_at < config_.cooldown) {
+        sim_.metrics()
+            .counter("rm_breaker_short_circuits_total", {{"host", host}})
+            .add();
+        return false;
+      }
+      transition(host, e, BreakerState::half_open);
+      [[fallthrough]];
+    case BreakerState::half_open:
+      // One probe at a time; if a probe never reported back (the attempt
+      // was swallowed somewhere), re-admit after another cooldown rather
+      // than wedging the breaker half-open forever.
+      if (e.probe_in_flight && now - e.probe_started < config_.cooldown) {
+        sim_.metrics()
+            .counter("rm_breaker_short_circuits_total", {{"host", host}})
+            .add();
+        return false;
+      }
+      e.probe_in_flight = true;
+      e.probe_started = now;
+      sim_.metrics().counter("rm_breaker_probes_total", {{"host", host}}).add();
+      return true;
+  }
+  return true;
+}
+
+bool ReplicaHealthRegistry::healthy(const std::string& host) const {
+  auto it = entries_.find(host);
+  if (it == entries_.end()) return true;
+  const Entry& e = it->second;
+  return e.state != BreakerState::open ||
+         sim_.now() - e.opened_at >= config_.cooldown;
+}
+
+void ReplicaHealthRegistry::record_success(const std::string& host) {
+  Entry& e = entry(host);
+  e.failures = 0;
+  e.probe_in_flight = false;
+  switch (e.state) {
+    case BreakerState::closed:
+      break;
+    case BreakerState::half_open:
+      if (++e.probe_successes >= config_.half_open_successes) {
+        transition(host, e, BreakerState::closed);
+      }
+      break;
+    case BreakerState::open:
+      // A success slipped through (last-resort attempt while open): the
+      // server is evidently back.
+      transition(host, e, BreakerState::closed);
+      break;
+  }
+}
+
+void ReplicaHealthRegistry::record_failure(const std::string& host) {
+  Entry& e = entry(host);
+  e.probe_in_flight = false;
+  ++e.failures;
+  switch (e.state) {
+    case BreakerState::closed:
+      if (e.failures >= config_.failure_threshold) {
+        transition(host, e, BreakerState::open);
+      }
+      break;
+    case BreakerState::half_open:
+      // Failed probe: back to open, cooldown restarts.
+      transition(host, e, BreakerState::open);
+      break;
+    case BreakerState::open:
+      // Last-resort attempts while open don't refresh the cooldown clock —
+      // that would starve the half-open probe.
+      break;
+  }
+}
+
+BreakerState ReplicaHealthRegistry::state(const std::string& host) const {
+  auto it = entries_.find(host);
+  return it == entries_.end() ? BreakerState::closed : it->second.state;
+}
+
+int ReplicaHealthRegistry::consecutive_failures(
+    const std::string& host) const {
+  auto it = entries_.find(host);
+  return it == entries_.end() ? 0 : it->second.failures;
+}
+
+}  // namespace esg::rm

@@ -1,0 +1,89 @@
+// Per-server circuit breaker / replica health registry.
+//
+// The request manager's replica ranking (paper §4 step 3) scores candidates
+// by NWS forecast bandwidth, but a forecast says nothing about a server that
+// is crashing or refusing connections *right now*.  The registry tracks a
+// classic three-state breaker per server host:
+//
+//   closed    — healthy; attempts flow normally.
+//   open      — `failure_threshold` consecutive failures tripped it; allow()
+//               refuses (short-circuits) until `cooldown` has elapsed.
+//   half_open — cooldown over; allow() admits one probe attempt at a time.
+//               A probe success (x `half_open_successes`) closes the
+//               breaker; a probe failure re-opens it and restarts the
+//               cooldown clock.
+//
+// Two read paths with different contracts:
+//   * allow(host)    — mutating; call once per actual attempt (it is what
+//                      admits or consumes the half-open probe slot).
+//   * healthy(host)  — const; safe for ranking.  A host is "unhealthy" only
+//                      while its breaker is open and still cooling down.
+//
+// State transitions are exported as the `rm_breaker_state` gauge
+// (0 = closed, 1 = open, 2 = half_open) plus counters for trips,
+// short-circuits, and probes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace esg::rm {
+
+struct BreakerConfig {
+  /// Consecutive failures that trip a closed breaker open.
+  int failure_threshold = 3;
+  /// How long an open breaker refuses before admitting a probe.
+  common::SimDuration cooldown = 60 * common::kSecond;
+  /// Probe successes required to close a half-open breaker.
+  int half_open_successes = 1;
+};
+
+enum class BreakerState { closed, open, half_open };
+
+const char* breaker_state_name(BreakerState state);
+
+class ReplicaHealthRegistry {
+ public:
+  explicit ReplicaHealthRegistry(sim::Simulation& simulation,
+                                 BreakerConfig config = {});
+
+  /// May this attempt proceed against `host`?  Mutating: an open breaker
+  /// past its cooldown transitions to half_open and this call claims the
+  /// probe slot.  Call exactly once per real attempt.
+  bool allow(const std::string& host);
+
+  /// Const ranking signal: false only while the breaker is open and still
+  /// inside its cooldown.  Unknown hosts are healthy.
+  bool healthy(const std::string& host) const;
+
+  /// Attempt outcome feedback (wired to ReliableGet's on_attempt_result).
+  void record_success(const std::string& host);
+  void record_failure(const std::string& host);
+
+  BreakerState state(const std::string& host) const;
+  int consecutive_failures(const std::string& host) const;
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    BreakerState state = BreakerState::closed;
+    int failures = 0;            // consecutive
+    int probe_successes = 0;     // while half_open
+    common::SimTime opened_at = 0;
+    bool probe_in_flight = false;
+    common::SimTime probe_started = 0;
+    obs::Gauge* gauge = nullptr;
+  };
+
+  Entry& entry(const std::string& host);
+  void transition(const std::string& host, Entry& e, BreakerState to);
+
+  sim::Simulation& sim_;
+  BreakerConfig config_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace esg::rm

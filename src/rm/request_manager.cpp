@@ -15,13 +15,15 @@ RequestManager::RequestManager(rpc::Orb& orb, const net::Host& host,
                                replica::ReplicaCatalog catalog,
                                mds::MdsClient mds,
                                gridftp::GridFtpClient& ftp,
-                               TransferMonitor* monitor)
+                               TransferMonitor* monitor,
+                               BreakerConfig breaker)
     : orb_(orb),
       host_(host),
       catalog_(std::move(catalog)),
       mds_(std::move(mds)),
       ftp_(ftp),
-      monitor_(monitor) {}
+      monitor_(monitor),
+      health_(orb.network().simulation(), breaker) {}
 
 // One submit(): owns the worker list and the completion barrier.
 struct RequestManager::Job : std::enable_shared_from_this<Job> {
@@ -55,6 +57,8 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
   std::shared_ptr<gridftp::ReliableGet> fetch;
   sim::EventHandle poller;
   std::unique_ptr<hrm::HrmClient> hrm_client;
+  int stage_attempts = 0;
+  common::SimTime stage_started = 0;
   bool terminal = false;
   obs::TrackId track = 0;  // one trace track per file worker
   obs::Span span;          // whole-file "rm.file" span
@@ -139,6 +143,14 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                            [&score](const auto& a, const auto& b) {
                              return score(a) > score(b);
                            });
+          // Circuit-breaker pass: demote hosts whose breaker is open (and
+          // still cooling) below every healthy candidate, keeping the NWS
+          // order within each group.
+          std::stable_partition(
+              self->replicas.begin(), self->replicas.end(),
+              [self](const replica::Replica& rep) {
+                return self->rm().health_.healthy(rep.location.hostname);
+              });
           const auto& best = self->replicas.front();
           self->outcome.chosen_location = best.location.name;
           self->outcome.chosen_host = best.location.hostname;
@@ -176,14 +188,37 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     }
     hrm_client = std::make_unique<hrm::HrmClient>(rm().orb_, rm().host_,
                                                   *hrm_host);
+    stage_started = sim().now();
+    attempt_stage();
+  }
+
+  /// One stage attempt; retries under options.stage_retry (the HRM may be
+  /// mid-crash or its tape library stalled — staging is the slowest, most
+  /// failure-prone rung of the fetch ladder).
+  void attempt_stage() {
+    if (terminal) return;
+    ++stage_attempts;
+    const auto& policy = job->options.stage_retry;
+    const auto timeout = policy.attempt_timeout > 0
+                             ? policy.attempt_timeout
+                             : job->options.stage_timeout;
     auto self = shared_from_this();
     hrm_client->stage(
-        best.url.path,
+        replicas.front().url.path,
         [self](Result<Bytes> staged) {
-          if (!staged) return self->finish(Status(staged.error()));
-          self->begin_transfer();
+          if (self->terminal) return;
+          if (staged) return self->begin_transfer();
+          const auto& policy = self->job->options.stage_retry;
+          if (policy.out_of_attempts(self->stage_attempts) ||
+              policy.past_deadline(self->stage_started, self->sim().now())) {
+            return self->finish(Status(staged.error()));
+          }
+          self->sim().metrics().counter("rm_stage_retries_total").add();
+          self->sim().schedule_after(
+              policy.backoff_after(self->stage_attempts, self->sim().rng()),
+              [self] { self->attempt_stage(); });
         },
-        job->options.stage_timeout);
+        timeout);
   }
 
   // Step 4b: GridFTP get through the reliability plugin, alternates ready.
@@ -202,10 +237,30 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
       transfer.eret_module = outcome.request.eret_module;
       transfer.eret_params = outcome.request.eret_params;
     }
+    // Wire the per-server circuit breakers into the reliability plugin:
+    // attempts consult allow() and every outcome feeds the breaker, unless
+    // the caller supplied its own hooks.
+    gridftp::ReliabilityOptions reliability = job->options.reliability;
+    auto* health = &rm().health_;
+    if (!reliability.replica_allowed) {
+      reliability.replica_allowed = [health](const std::string& host) {
+        return health->allow(host);
+      };
+    }
+    if (!reliability.on_attempt_result) {
+      reliability.on_attempt_result = [health](const std::string& host,
+                                               bool ok) {
+        if (ok) {
+          health->record_success(host);
+        } else {
+          health->record_failure(host);
+        }
+      };
+    }
     auto self = shared_from_this();
     fetch = gridftp::ReliableGet::start(
         rm().ftp_, std::move(urls), outcome.local_name, transfer,
-        job->options.reliability, nullptr,
+        std::move(reliability), nullptr,
         [self](gridftp::ReliableResult r) {
           self->outcome.bytes = r.total_bytes;
           self->outcome.attempts = r.attempts;

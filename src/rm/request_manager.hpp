@@ -26,6 +26,7 @@
 #include "hrm/hrm.hpp"
 #include "mds/mds.hpp"
 #include "replica/catalog.hpp"
+#include "rm/health.hpp"
 #include "rm/monitor.hpp"
 
 namespace esg::rm {
@@ -46,6 +47,10 @@ struct RequestOptions {
   gridftp::ReliabilityOptions reliability;
   common::SimDuration poll_interval = 2 * common::kSecond;  // size polling
   common::SimDuration stage_timeout = 30 * common::kMinute;
+  /// Retry policy for HRM stage requests.  stage_timeout above stays the
+  /// per-attempt RPC timeout whenever stage_retry.attempt_timeout is 0.
+  common::RetryPolicy stage_retry = {.max_attempts = 3,
+                                     .retry_backoff = 15 * common::kSecond};
   std::size_t max_concurrent = 16;  // worker threads, paper-style
 };
 
@@ -85,7 +90,8 @@ class RequestManager {
   RequestManager(rpc::Orb& orb, const net::Host& host,
                  replica::ReplicaCatalog catalog, mds::MdsClient mds,
                  gridftp::GridFtpClient& ftp,
-                 TransferMonitor* monitor = nullptr);
+                 TransferMonitor* monitor = nullptr,
+                 BreakerConfig breaker = {});
 
   /// Fetch a set of logical files concurrently.  `done` fires once every
   /// file reached a terminal state.
@@ -94,6 +100,9 @@ class RequestManager {
 
   const net::Host& host() const { return host_; }
   TransferMonitor* monitor() { return monitor_; }
+  /// Per-server circuit breakers consulted by replica ranking and fed by
+  /// every transfer attempt's outcome.
+  ReplicaHealthRegistry& health() { return health_; }
 
  private:
   struct Job;     // one submit()
@@ -105,6 +114,7 @@ class RequestManager {
   mds::MdsClient mds_;
   gridftp::GridFtpClient& ftp_;
   TransferMonitor* monitor_;
+  ReplicaHealthRegistry health_;
 };
 
 }  // namespace esg::rm

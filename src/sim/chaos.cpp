@@ -1,0 +1,139 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/bytebuf.hpp"
+
+namespace esg::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::brownout: return "brownout";
+    case FaultKind::loss_spike: return "loss_spike";
+    case FaultKind::service_crash: return "service_crash";
+    case FaultKind::stage_stall: return "stage_stall";
+    case FaultKind::corruption: return "corruption";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::add(FaultEvent event) {
+  plan_.push_back(std::move(event));
+  return *this;
+}
+
+void FaultInjector::generate_kind(FaultKind kind, const FaultProfile& profile,
+                                  SimTime horizon) {
+  if (profile.mean_interval <= 0 || profile.targets.empty()) return;
+  const double mean = static_cast<double>(profile.mean_interval);
+  double t = rng_.exponential(mean);
+  while (static_cast<SimTime>(t) < horizon) {
+    FaultEvent e;
+    e.kind = kind;
+    e.target = profile.targets[rng_.uniform_int(profile.targets.size())];
+    e.start = static_cast<SimTime>(t);
+    e.duration = static_cast<SimDuration>(
+        rng_.uniform(static_cast<double>(profile.min_duration),
+                     static_cast<double>(profile.max_duration)));
+    e.magnitude = rng_.uniform(profile.min_magnitude, profile.max_magnitude);
+    e.description = std::string(fault_kind_name(kind)) + " on " + e.target;
+    plan_.push_back(std::move(e));
+    t += rng_.exponential(mean);
+  }
+}
+
+void FaultInjector::generate(const ChaosProfile& profile, SimTime horizon) {
+  // Fixed kind order keeps the Rng draw sequence (and thus the plan) a pure
+  // function of the seed.
+  generate_kind(FaultKind::brownout, profile.brownout, horizon);
+  generate_kind(FaultKind::loss_spike, profile.loss_spike, horizon);
+  generate_kind(FaultKind::service_crash, profile.service_crash, horizon);
+  generate_kind(FaultKind::stage_stall, profile.stage_stall, horizon);
+  generate_kind(FaultKind::corruption, profile.corruption, horizon);
+  std::stable_sort(plan_.begin(), plan_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+}
+
+std::uint64_t FaultInjector::timeline_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& e : plan_) {
+    const auto kind = static_cast<std::uint32_t>(e.kind);
+    h = common::fnv1a64(&kind, sizeof(kind), h);
+    h = common::fnv1a64(e.target.data(), e.target.size(), h);
+    h = common::fnv1a64(&e.start, sizeof(e.start), h);
+    h = common::fnv1a64(&e.duration, sizeof(e.duration), h);
+    h = common::fnv1a64(&e.magnitude, sizeof(e.magnitude), h);
+  }
+  return h;
+}
+
+void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
+  auto& metrics = simulation.metrics();
+  auto* active_gauge = &metrics.gauge("chaos_active_faults");
+  // Overlap reference counting per (kind, target), like FailureSchedule.
+  auto depth = std::make_shared<std::map<std::string, int>>();
+  auto shared_hooks = std::make_shared<FaultHooks>(std::move(hooks));
+
+  auto durable = [&](const FaultEvent& e,
+                     std::function<void(const FaultEvent&, bool)>
+                         FaultHooks::* hook) {
+    const std::string key =
+        std::string(fault_kind_name(e.kind)) + "|" + e.target;
+    auto* injected =
+        &metrics.counter("chaos_faults_injected_total",
+                         {{"kind", fault_kind_name(e.kind)}});
+    simulation.schedule_at(
+        e.start, [e, key, depth, shared_hooks, hook, injected, active_gauge] {
+          injected->add();
+          active_gauge->add(1.0);
+          if (++(*depth)[key] == 1 && (*shared_hooks).*hook) {
+            ((*shared_hooks).*hook)(e, true);
+          }
+        });
+    simulation.schedule_at(
+        e.start + e.duration,
+        [e, key, depth, shared_hooks, hook, active_gauge] {
+          active_gauge->add(-1.0);
+          if (--(*depth)[key] == 0 && (*shared_hooks).*hook) {
+            ((*shared_hooks).*hook)(e, false);
+          }
+        });
+  };
+
+  for (const auto& e : plan_) {
+    switch (e.kind) {
+      case FaultKind::brownout: durable(e, &FaultHooks::brownout); break;
+      case FaultKind::loss_spike: durable(e, &FaultHooks::loss_spike); break;
+      case FaultKind::service_crash:
+        durable(e, &FaultHooks::service_crash);
+        break;
+      case FaultKind::stage_stall: durable(e, &FaultHooks::stage_stall); break;
+      case FaultKind::corruption: {
+        auto* injected = &metrics.counter("chaos_faults_injected_total",
+                                          {{"kind", "corruption"}});
+        simulation.schedule_at(e.start, [e, shared_hooks, injected] {
+          injected->add();
+          if (shared_hooks->corruption) shared_hooks->corruption(e);
+        });
+        break;
+      }
+    }
+  }
+}
+
+bool FaultInjector::active(FaultKind kind, const std::string& target,
+                           SimTime t) const {
+  for (const auto& e : plan_) {
+    if (e.kind == kind && e.target == target && t >= e.start &&
+        t < e.start + e.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esg::sim

@@ -1,0 +1,113 @@
+// Chaos engine: seeded, deterministic fault injection beyond binary outages.
+//
+// FailureSchedule scripts up/down outages (Figure 8's power failure); real
+// deployments mostly suffer *degraded* states instead — links that brown out
+// to a fraction of capacity, loss-rate spikes, services that crash and come
+// back with empty state, tape libraries that stall, and payloads corrupted
+// in flight.  The FaultInjector models all of these as timed FaultEvents.
+//
+// The injector is target-agnostic: sim cannot depend on net/gridftp/hrm, so
+// each fault kind maps to a FaultHooks callback and the composition (which
+// link browns out, which server crashes) happens where the stack is
+// assembled — benches and tests.  A plan is either scripted via add() or
+// generated from a ChaosProfile using the injector's private Rng, so a seed
+// fully determines the fault timeline (assertable via timeline_hash()).
+// Overlapping same-kind faults on one target are reference-counted exactly
+// like FailureSchedule outages: the end hook fires when the last one lifts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace esg::sim {
+
+enum class FaultKind {
+  brownout,       // resource degraded to a fraction of nominal capacity
+  loss_spike,     // elevated packet-loss probability on a link
+  service_crash,  // a service dies (losing state) and later restarts
+  stage_stall,    // a tape library stops dispatching queued stages
+  corruption,     // payload bytes flipped in flight (instantaneous)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::brownout;
+  std::string target;        // link / host / service name, hook-interpreted
+  SimTime start = 0;
+  SimDuration duration = 0;  // ignored for corruption (instantaneous)
+  /// Kind-specific: brownout = remaining capacity fraction in [0,1];
+  /// loss_spike = loss probability; others unused.
+  double magnitude = 0.0;
+  std::string description;
+};
+
+/// Callbacks invoked at fault transitions.  Durable kinds get (event, begin);
+/// corruption fires once at its start time.  Unset hooks are skipped (the
+/// fault still counts in the chaos metrics).
+struct FaultHooks {
+  std::function<void(const FaultEvent&, bool begin)> brownout;
+  std::function<void(const FaultEvent&, bool begin)> loss_spike;
+  std::function<void(const FaultEvent&, bool begin)> service_crash;
+  std::function<void(const FaultEvent&, bool begin)> stage_stall;
+  std::function<void(const FaultEvent&)> corruption;
+};
+
+/// Generation knobs for one fault kind: events arrive as a Poisson process
+/// with the given mean interval, durations and magnitudes drawn uniformly.
+struct FaultProfile {
+  std::vector<std::string> targets;
+  SimDuration mean_interval = 0;  // 0 = kind disabled
+  SimDuration min_duration = 30 * common::kSecond;
+  SimDuration max_duration = 2 * common::kMinute;
+  double min_magnitude = 0.0;
+  double max_magnitude = 0.0;
+};
+
+struct ChaosProfile {
+  FaultProfile brownout;
+  FaultProfile loss_spike;
+  FaultProfile service_crash;
+  FaultProfile stage_stall;
+  FaultProfile corruption;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Script an explicit fault.
+  FaultInjector& add(FaultEvent event);
+
+  /// Draw a randomized fault plan over [0, horizon) from the profile.  The
+  /// injector's seed determines the plan; repeatable and order-stable.
+  void generate(const ChaosProfile& profile, SimTime horizon);
+
+  const std::vector<FaultEvent>& plan() const { return plan_; }
+
+  /// Fingerprint of the plan (kinds, targets, times, magnitudes) — two runs
+  /// with the same seed must agree on it.
+  std::uint64_t timeline_hash() const;
+
+  /// Arm every planned fault on `simulation`.  Also records per-kind
+  /// `chaos_faults_injected_total` counters and the `chaos_active_faults`
+  /// gauge in the simulation's metrics registry.
+  void arm(Simulation& simulation, FaultHooks hooks) const;
+
+  /// True if a planned fault of `kind` covers `target` at time `t`.
+  bool active(FaultKind kind, const std::string& target, SimTime t) const;
+
+ private:
+  void generate_kind(FaultKind kind, const FaultProfile& profile,
+                     SimTime horizon);
+
+  common::Rng rng_;
+  std::vector<FaultEvent> plan_;
+};
+
+}  // namespace esg::sim

@@ -2,12 +2,34 @@
 
 #include <algorithm>
 
+#include "common/bytebuf.hpp"
+
 namespace esg::storage {
 
 using common::Errc;
 using common::Error;
 using common::Result;
 using common::Status;
+
+std::uint64_t file_checksum(const FileObject& file) {
+  if (file.content && !file.content->empty()) {
+    return common::fnv1a64(file.content->data(), file.content->size());
+  }
+  std::uint64_t h = common::fnv1a64(&file.size, sizeof(file.size));
+  return common::fnv1a64(&file.corruption, sizeof(file.corruption), h);
+}
+
+void corrupt_file(FileObject& file, std::uint64_t salt) {
+  if (file.content && !file.content->empty()) {
+    auto damaged =
+        std::make_shared<std::vector<std::uint8_t>>(*file.content);
+    const std::size_t at = static_cast<std::size_t>(
+        common::fnv1a64(&salt, sizeof(salt)) % damaged->size());
+    (*damaged)[at] ^= 0xFF;
+    file.content = std::move(damaged);
+  }
+  ++file.corruption;
+}
 
 Status HostStorage::put(FileObject file) {
   auto it = files_.find(file.name);

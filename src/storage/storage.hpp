@@ -28,6 +28,10 @@ struct FileObject {
   Bytes size = 0;
   /// Real bytes, when the experiment cares about content (ncx datasets).
   std::shared_ptr<const std::vector<std::uint8_t>> content;
+  /// Number of times this payload was corrupted in flight.  Synthetic files
+  /// carry no bytes to flip, so the counter stands in for the damage and is
+  /// folded into file_checksum() — a corrupted copy never matches.
+  std::uint32_t corruption = 0;
 
   static FileObject synthetic(std::string name, Bytes size) {
     return FileObject{std::move(name), size, nullptr};
@@ -38,6 +42,17 @@ struct FileObject {
     return FileObject{std::move(name), size, std::move(data)};
   }
 };
+
+/// Content fingerprint used for end-to-end transfer integrity.  Covers the
+/// payload only — never the name — so a file renamed on landing still
+/// verifies.  Files with real bytes hash the bytes; synthetic files hash
+/// (size, corruption).
+std::uint64_t file_checksum(const FileObject& file);
+
+/// Flip one payload byte (copy-on-write for shared content) or, for
+/// synthetic files, bump the corruption counter.  Either way the file's
+/// checksum no longer matches the original.  `salt` picks which byte.
+void corrupt_file(FileObject& file, std::uint64_t salt = 1);
 
 /// Flat per-host file namespace with a capacity budget.
 class HostStorage {

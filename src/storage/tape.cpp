@@ -58,8 +58,14 @@ void TapeLibrary::stage(const std::string& name,
   pump();
 }
 
+void TapeLibrary::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (!stalled_) pump();
+}
+
 void TapeLibrary::pump() {
-  while (!queue_.empty()) {
+  while (!stalled_ && !queue_.empty()) {
     // Prefer a drive that already has the right cartridge mounted, then any
     // idle drive.
     const auto& req = queue_.front();

@@ -49,6 +49,13 @@ class TapeLibrary {
   void stage(const std::string& name,
              std::function<void(common::Result<FileObject>)> done);
 
+  /// Stall / unstall the library: while stalled, queued requests are not
+  /// dispatched to drives (reads already in progress finish).  Unstalling
+  /// immediately pumps the backlog.  Models a robot arm jam or an HPSS
+  /// outage without losing queued work.
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
   /// Requests currently waiting for a drive.
   std::size_t queue_depth() const { return queue_.size(); }
   int busy_drives() const { return busy_drives_; }
@@ -78,6 +85,7 @@ class TapeLibrary {
   std::vector<std::string> drive_mounted_;  // cartridge per drive ("" = none)
   std::vector<bool> drive_busy_;
   int busy_drives_ = 0;
+  bool stalled_ = false;
   int next_cartridge_seq_ = 0;
   int files_on_current_cartridge_ = 0;
   std::uint64_t mounts_ = 0;

@@ -202,6 +202,56 @@ TEST(FailureSchedule, IsDownQueriesIntervals) {
   EXPECT_FALSE(sched.is_down("other", 15));
 }
 
+TEST(FailureSchedule, ThreeWayOverlapComesUpOnce) {
+  es::Simulation sim;
+  es::FailureSchedule sched;
+  sched.add("link", 100, 100);  // [100, 200)
+  sched.add("link", 150, 100);  // [150, 250)
+  sched.add("link", 240, 60);   // [240, 300) — chains onto the second
+  std::vector<std::pair<ec::SimTime, bool>> transitions;
+  sched.arm(sim, [&](const std::string&, bool down, const std::string&) {
+    transitions.emplace_back(sim.now(), down);
+  });
+  sim.run();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(ec::SimTime{100}, true));
+  EXPECT_EQ(transitions[1], std::make_pair(ec::SimTime{300}, false));
+}
+
+TEST(FailureSchedule, AdjacentOutagesAtEqualTimesStayDown) {
+  // One outage ends exactly when the next begins: the end and begin events
+  // tie at t=200.  Whatever the internal firing order, the target must be
+  // down throughout [100, 300) and the toggle must not report up-then-down
+  // at the seam as two net transitions beyond the outer pair.
+  es::Simulation sim;
+  es::FailureSchedule sched;
+  sched.add("link", 100, 100);  // [100, 200)
+  sched.add("link", 200, 100);  // [200, 300)
+  std::vector<std::pair<ec::SimTime, bool>> transitions;
+  sched.arm(sim, [&](const std::string&, bool down, const std::string&) {
+    transitions.emplace_back(sim.now(), down);
+  });
+  sim.run();
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.front(), std::make_pair(ec::SimTime{100}, true));
+  EXPECT_EQ(transitions.back(), std::make_pair(ec::SimTime{300}, false));
+  // Any seam transitions happen at exactly t=200 and cancel out.
+  for (std::size_t i = 1; i + 1 < transitions.size(); ++i) {
+    EXPECT_EQ(transitions[i].first, ec::SimTime{200});
+  }
+}
+
+TEST(FailureSchedule, IsDownSpansOverlappingIntervals) {
+  es::FailureSchedule sched;
+  sched.add("link", 100, 100);  // [100, 200)
+  sched.add("link", 150, 100);  // [150, 250)
+  EXPECT_FALSE(sched.is_down("link", 99));
+  EXPECT_TRUE(sched.is_down("link", 125));
+  EXPECT_TRUE(sched.is_down("link", 200));  // covered by the second outage
+  EXPECT_TRUE(sched.is_down("link", 249));
+  EXPECT_FALSE(sched.is_down("link", 250));
+}
+
 TEST(FailureSchedule, DistinctTargetsIndependent) {
   es::Simulation sim;
   es::FailureSchedule sched;
