@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_sweep.dir/bench_buffer_sweep.cpp.o"
+  "CMakeFiles/bench_buffer_sweep.dir/bench_buffer_sweep.cpp.o.d"
+  "bench_buffer_sweep"
+  "bench_buffer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_caching.dir/bench_channel_caching.cpp.o"
+  "CMakeFiles/bench_channel_caching.dir/bench_channel_caching.cpp.o.d"
+  "bench_channel_caching"
+  "bench_channel_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_fetch.dir/bench_concurrent_fetch.cpp.o"
+  "CMakeFiles/bench_concurrent_fetch.dir/bench_concurrent_fetch.cpp.o.d"
+  "bench_concurrent_fetch"
+  "bench_concurrent_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_limits.dir/bench_cpu_limits.cpp.o"
+  "CMakeFiles/bench_cpu_limits.dir/bench_cpu_limits.cpp.o.d"
+  "bench_cpu_limits"
+  "bench_cpu_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

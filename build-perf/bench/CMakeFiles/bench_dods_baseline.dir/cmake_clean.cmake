@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dods_baseline.dir/bench_dods_baseline.cpp.o"
+  "CMakeFiles/bench_dods_baseline.dir/bench_dods_baseline.cpp.o.d"
+  "bench_dods_baseline"
+  "bench_dods_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dods_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fluid_scale.dir/bench_fluid_scale.cpp.o"
+  "CMakeFiles/bench_fluid_scale.dir/bench_fluid_scale.cpp.o.d"
+  "bench_fluid_scale"
+  "bench_fluid_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fluid_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forecasters.dir/bench_forecasters.cpp.o"
+  "CMakeFiles/bench_forecasters.dir/bench_forecasters.cpp.o.d"
+  "bench_forecasters"
+  "bench_forecasters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecasters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hrm_staging.dir/bench_hrm_staging.cpp.o"
+  "CMakeFiles/bench_hrm_staging.dir/bench_hrm_staging.cpp.o.d"
+  "bench_hrm_staging"
+  "bench_hrm_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hrm_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hrm_staging.
+# This may be replaced when dependencies are built.

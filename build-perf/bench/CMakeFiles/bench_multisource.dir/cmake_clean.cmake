@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multisource.dir/bench_multisource.cpp.o"
+  "CMakeFiles/bench_multisource.dir/bench_multisource.cpp.o.d"
+  "bench_multisource"
+  "bench_multisource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_streams.dir/bench_parallel_streams.cpp.o"
+  "CMakeFiles/bench_parallel_streams.dir/bench_parallel_streams.cpp.o.d"
+  "bench_parallel_streams"
+  "bench_parallel_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replica_selection.dir/bench_replica_selection.cpp.o"
+  "CMakeFiles/bench_replica_selection.dir/bench_replica_selection.cpp.o.d"
+  "bench_replica_selection"
+  "bench_replica_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replica_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seed_sweep.dir/bench_seed_sweep.cpp.o"
+  "CMakeFiles/bench_seed_sweep.dir/bench_seed_sweep.cpp.o.d"
+  "bench_seed_sweep"
+  "bench_seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subsetting.dir/bench_subsetting.cpp.o"
+  "CMakeFiles/bench_subsetting.dir/bench_subsetting.cpp.o.d"
+  "bench_subsetting"
+  "bench_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-perf/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fluid_scale_smoke "/root/repo/build-perf/bench/bench_fluid_scale" "--small")
+set_tests_properties(bench_fluid_scale_smoke PROPERTIES  LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;55;add_test;/root/repo/bench/CMakeLists.txt;0;")

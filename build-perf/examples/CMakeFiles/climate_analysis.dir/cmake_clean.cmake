@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_analysis.dir/climate_analysis.cpp.o"
+  "CMakeFiles/climate_analysis.dir/climate_analysis.cpp.o.d"
+  "climate_analysis"
+  "climate_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg2_subsetting.dir/esg2_subsetting.cpp.o"
+  "CMakeFiles/esg2_subsetting.dir/esg2_subsetting.cpp.o.d"
+  "esg2_subsetting"
+  "esg2_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg2_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esg2_subsetting.
+# This may be replaced when dependencies are built.

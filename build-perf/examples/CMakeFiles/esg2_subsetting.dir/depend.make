@@ -1,0 +1,2 @@
+# Empty dependencies file for esg2_subsetting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_catalog_demo.dir/replica_catalog_demo.cpp.o"
+  "CMakeFiles/replica_catalog_demo.dir/replica_catalog_demo.cpp.o.d"
+  "replica_catalog_demo"
+  "replica_catalog_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_catalog_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

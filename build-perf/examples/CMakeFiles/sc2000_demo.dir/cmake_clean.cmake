@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc2000_demo.dir/sc2000_demo.cpp.o"
+  "CMakeFiles/sc2000_demo.dir/sc2000_demo.cpp.o.d"
+  "sc2000_demo"
+  "sc2000_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc2000_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

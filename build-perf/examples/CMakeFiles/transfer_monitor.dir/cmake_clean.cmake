@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_monitor.dir/transfer_monitor.cpp.o"
+  "CMakeFiles/transfer_monitor.dir/transfer_monitor.cpp.o.d"
+  "transfer_monitor"
+  "transfer_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

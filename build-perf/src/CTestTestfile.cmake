@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-perf/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("sim")
+subdirs("net")
+subdirs("rpc")
+subdirs("security")
+subdirs("directory")
+subdirs("storage")
+subdirs("gridftp")
+subdirs("replica")
+subdirs("nws")
+subdirs("mds")
+subdirs("hrm")
+subdirs("rm")
+subdirs("ncformat")
+subdirs("climate")
+subdirs("metadata")
+subdirs("esg")
+subdirs("dods")

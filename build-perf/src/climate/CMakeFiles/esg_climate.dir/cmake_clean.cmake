@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_climate.dir/analysis.cpp.o"
+  "CMakeFiles/esg_climate.dir/analysis.cpp.o.d"
+  "CMakeFiles/esg_climate.dir/field.cpp.o"
+  "CMakeFiles/esg_climate.dir/field.cpp.o.d"
+  "CMakeFiles/esg_climate.dir/model.cpp.o"
+  "CMakeFiles/esg_climate.dir/model.cpp.o.d"
+  "CMakeFiles/esg_climate.dir/render.cpp.o"
+  "CMakeFiles/esg_climate.dir/render.cpp.o.d"
+  "CMakeFiles/esg_climate.dir/subset.cpp.o"
+  "CMakeFiles/esg_climate.dir/subset.cpp.o.d"
+  "libesg_climate.a"
+  "libesg_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

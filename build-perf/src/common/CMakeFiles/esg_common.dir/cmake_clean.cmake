@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_common.dir/bytebuf.cpp.o"
+  "CMakeFiles/esg_common.dir/bytebuf.cpp.o.d"
+  "CMakeFiles/esg_common.dir/log.cpp.o"
+  "CMakeFiles/esg_common.dir/log.cpp.o.d"
+  "CMakeFiles/esg_common.dir/stats.cpp.o"
+  "CMakeFiles/esg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/esg_common.dir/strings.cpp.o"
+  "CMakeFiles/esg_common.dir/strings.cpp.o.d"
+  "CMakeFiles/esg_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/esg_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/esg_common.dir/units.cpp.o"
+  "CMakeFiles/esg_common.dir/units.cpp.o.d"
+  "libesg_common.a"
+  "libesg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

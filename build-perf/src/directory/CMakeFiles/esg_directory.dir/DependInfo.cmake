@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/dn.cpp" "src/directory/CMakeFiles/esg_directory.dir/dn.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/dn.cpp.o.d"
+  "/root/repo/src/directory/entry.cpp" "src/directory/CMakeFiles/esg_directory.dir/entry.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/entry.cpp.o.d"
+  "/root/repo/src/directory/filter.cpp" "src/directory/CMakeFiles/esg_directory.dir/filter.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/filter.cpp.o.d"
+  "/root/repo/src/directory/replicated.cpp" "src/directory/CMakeFiles/esg_directory.dir/replicated.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/replicated.cpp.o.d"
+  "/root/repo/src/directory/server.cpp" "src/directory/CMakeFiles/esg_directory.dir/server.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/server.cpp.o.d"
+  "/root/repo/src/directory/service.cpp" "src/directory/CMakeFiles/esg_directory.dir/service.cpp.o" "gcc" "src/directory/CMakeFiles/esg_directory.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/rpc/CMakeFiles/esg_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

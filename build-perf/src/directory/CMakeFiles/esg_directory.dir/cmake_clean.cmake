@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_directory.dir/dn.cpp.o"
+  "CMakeFiles/esg_directory.dir/dn.cpp.o.d"
+  "CMakeFiles/esg_directory.dir/entry.cpp.o"
+  "CMakeFiles/esg_directory.dir/entry.cpp.o.d"
+  "CMakeFiles/esg_directory.dir/filter.cpp.o"
+  "CMakeFiles/esg_directory.dir/filter.cpp.o.d"
+  "CMakeFiles/esg_directory.dir/replicated.cpp.o"
+  "CMakeFiles/esg_directory.dir/replicated.cpp.o.d"
+  "CMakeFiles/esg_directory.dir/server.cpp.o"
+  "CMakeFiles/esg_directory.dir/server.cpp.o.d"
+  "CMakeFiles/esg_directory.dir/service.cpp.o"
+  "CMakeFiles/esg_directory.dir/service.cpp.o.d"
+  "libesg_directory.a"
+  "libesg_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

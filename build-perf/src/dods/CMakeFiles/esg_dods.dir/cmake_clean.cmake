@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_dods.dir/dods.cpp.o"
+  "CMakeFiles/esg_dods.dir/dods.cpp.o.d"
+  "libesg_dods.a"
+  "libesg_dods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_dods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_esg.dir/client.cpp.o"
+  "CMakeFiles/esg_esg.dir/client.cpp.o.d"
+  "CMakeFiles/esg_esg.dir/testbed.cpp.o"
+  "CMakeFiles/esg_esg.dir/testbed.cpp.o.d"
+  "libesg_esg.a"
+  "libesg_esg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_esg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_gridftp.dir/client.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/client.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/multisource.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/multisource.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/reliability.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/reliability.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/server.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/server.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/striped.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/striped.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/striped_volume.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/striped_volume.cpp.o.d"
+  "CMakeFiles/esg_gridftp.dir/url.cpp.o"
+  "CMakeFiles/esg_gridftp.dir/url.cpp.o.d"
+  "libesg_gridftp.a"
+  "libesg_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_hrm.dir/hrm.cpp.o"
+  "CMakeFiles/esg_hrm.dir/hrm.cpp.o.d"
+  "libesg_hrm.a"
+  "libesg_hrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_hrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_mds.dir/mds.cpp.o"
+  "CMakeFiles/esg_mds.dir/mds.cpp.o.d"
+  "libesg_mds.a"
+  "libesg_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_metadata.dir/catalog.cpp.o"
+  "CMakeFiles/esg_metadata.dir/catalog.cpp.o.d"
+  "libesg_metadata.a"
+  "libesg_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_ncformat.dir/ncx.cpp.o"
+  "CMakeFiles/esg_ncformat.dir/ncx.cpp.o.d"
+  "libesg_ncformat.a"
+  "libesg_ncformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_ncformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/background.cpp" "src/net/CMakeFiles/esg_net.dir/background.cpp.o" "gcc" "src/net/CMakeFiles/esg_net.dir/background.cpp.o.d"
+  "/root/repo/src/net/fluid.cpp" "src/net/CMakeFiles/esg_net.dir/fluid.cpp.o" "gcc" "src/net/CMakeFiles/esg_net.dir/fluid.cpp.o.d"
+  "/root/repo/src/net/fluid_reference.cpp" "src/net/CMakeFiles/esg_net.dir/fluid_reference.cpp.o" "gcc" "src/net/CMakeFiles/esg_net.dir/fluid_reference.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/esg_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/esg_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/esg_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/esg_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

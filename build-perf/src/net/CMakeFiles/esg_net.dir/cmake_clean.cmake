@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_net.dir/background.cpp.o"
+  "CMakeFiles/esg_net.dir/background.cpp.o.d"
+  "CMakeFiles/esg_net.dir/fluid.cpp.o"
+  "CMakeFiles/esg_net.dir/fluid.cpp.o.d"
+  "CMakeFiles/esg_net.dir/fluid_reference.cpp.o"
+  "CMakeFiles/esg_net.dir/fluid_reference.cpp.o.d"
+  "CMakeFiles/esg_net.dir/tcp.cpp.o"
+  "CMakeFiles/esg_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/esg_net.dir/topology.cpp.o"
+  "CMakeFiles/esg_net.dir/topology.cpp.o.d"
+  "libesg_net.a"
+  "libesg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

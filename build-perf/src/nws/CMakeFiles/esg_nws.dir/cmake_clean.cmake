@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_nws.dir/forecast.cpp.o"
+  "CMakeFiles/esg_nws.dir/forecast.cpp.o.d"
+  "CMakeFiles/esg_nws.dir/sensor.cpp.o"
+  "CMakeFiles/esg_nws.dir/sensor.cpp.o.d"
+  "libesg_nws.a"
+  "libesg_nws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

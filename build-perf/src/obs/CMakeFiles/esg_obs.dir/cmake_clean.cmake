@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_obs.dir/export.cpp.o"
+  "CMakeFiles/esg_obs.dir/export.cpp.o.d"
+  "CMakeFiles/esg_obs.dir/metrics.cpp.o"
+  "CMakeFiles/esg_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/esg_obs.dir/trace.cpp.o"
+  "CMakeFiles/esg_obs.dir/trace.cpp.o.d"
+  "libesg_obs.a"
+  "libesg_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

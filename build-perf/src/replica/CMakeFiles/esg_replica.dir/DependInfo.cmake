@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replica/catalog.cpp" "src/replica/CMakeFiles/esg_replica.dir/catalog.cpp.o" "gcc" "src/replica/CMakeFiles/esg_replica.dir/catalog.cpp.o.d"
+  "/root/repo/src/replica/manager.cpp" "src/replica/CMakeFiles/esg_replica.dir/manager.cpp.o" "gcc" "src/replica/CMakeFiles/esg_replica.dir/manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/directory/CMakeFiles/esg_directory.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/gridftp/CMakeFiles/esg_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/rpc/CMakeFiles/esg_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/security/CMakeFiles/esg_security.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/storage/CMakeFiles/esg_storage.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

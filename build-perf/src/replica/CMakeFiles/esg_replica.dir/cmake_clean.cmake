@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_replica.dir/catalog.cpp.o"
+  "CMakeFiles/esg_replica.dir/catalog.cpp.o.d"
+  "CMakeFiles/esg_replica.dir/manager.cpp.o"
+  "CMakeFiles/esg_replica.dir/manager.cpp.o.d"
+  "libesg_replica.a"
+  "libesg_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

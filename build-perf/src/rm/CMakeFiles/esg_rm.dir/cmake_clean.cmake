@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_rm.dir/health.cpp.o"
+  "CMakeFiles/esg_rm.dir/health.cpp.o.d"
+  "CMakeFiles/esg_rm.dir/monitor.cpp.o"
+  "CMakeFiles/esg_rm.dir/monitor.cpp.o.d"
+  "CMakeFiles/esg_rm.dir/request_manager.cpp.o"
+  "CMakeFiles/esg_rm.dir/request_manager.cpp.o.d"
+  "CMakeFiles/esg_rm.dir/service.cpp.o"
+  "CMakeFiles/esg_rm.dir/service.cpp.o.d"
+  "libesg_rm.a"
+  "libesg_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

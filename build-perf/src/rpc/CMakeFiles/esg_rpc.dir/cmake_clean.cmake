@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_rpc.dir/orb.cpp.o"
+  "CMakeFiles/esg_rpc.dir/orb.cpp.o.d"
+  "libesg_rpc.a"
+  "libesg_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_security.dir/gsi.cpp.o"
+  "CMakeFiles/esg_security.dir/gsi.cpp.o.d"
+  "libesg_security.a"
+  "libesg_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

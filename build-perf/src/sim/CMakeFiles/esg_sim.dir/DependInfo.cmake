@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chaos.cpp" "src/sim/CMakeFiles/esg_sim.dir/chaos.cpp.o" "gcc" "src/sim/CMakeFiles/esg_sim.dir/chaos.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/sim/CMakeFiles/esg_sim.dir/failure.cpp.o" "gcc" "src/sim/CMakeFiles/esg_sim.dir/failure.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/esg_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/esg_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_sim.dir/chaos.cpp.o"
+  "CMakeFiles/esg_sim.dir/chaos.cpp.o.d"
+  "CMakeFiles/esg_sim.dir/failure.cpp.o"
+  "CMakeFiles/esg_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/esg_sim.dir/simulation.cpp.o"
+  "CMakeFiles/esg_sim.dir/simulation.cpp.o.d"
+  "libesg_sim.a"
+  "libesg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

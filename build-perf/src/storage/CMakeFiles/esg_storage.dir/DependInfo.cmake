@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/storage.cpp" "src/storage/CMakeFiles/esg_storage.dir/storage.cpp.o" "gcc" "src/storage/CMakeFiles/esg_storage.dir/storage.cpp.o.d"
+  "/root/repo/src/storage/tape.cpp" "src/storage/CMakeFiles/esg_storage.dir/tape.cpp.o" "gcc" "src/storage/CMakeFiles/esg_storage.dir/tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

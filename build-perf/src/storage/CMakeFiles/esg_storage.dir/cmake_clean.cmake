@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_storage.dir/storage.cpp.o"
+  "CMakeFiles/esg_storage.dir/storage.cpp.o.d"
+  "CMakeFiles/esg_storage.dir/tape.cpp.o"
+  "CMakeFiles/esg_storage.dir/tape.cpp.o.d"
+  "libesg_storage.a"
+  "libesg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

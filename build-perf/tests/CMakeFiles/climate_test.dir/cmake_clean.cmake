@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_test.dir/climate_test.cpp.o"
+  "CMakeFiles/climate_test.dir/climate_test.cpp.o.d"
+  "climate_test"
+  "climate_test.pdb"
+  "climate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dods_test.cpp" "tests/CMakeFiles/dods_test.dir/dods_test.cpp.o" "gcc" "tests/CMakeFiles/dods_test.dir/dods_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-perf/src/dods/CMakeFiles/esg_dods.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/climate/CMakeFiles/esg_climate.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/mds/CMakeFiles/esg_mds.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/replica/CMakeFiles/esg_replica.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/gridftp/CMakeFiles/esg_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/ncformat/CMakeFiles/esg_ncformat.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/storage/CMakeFiles/esg_storage.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/security/CMakeFiles/esg_security.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/directory/CMakeFiles/esg_directory.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/rpc/CMakeFiles/esg_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/obs/CMakeFiles/esg_obs.dir/DependInfo.cmake"
+  "/root/repo/build-perf/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dods_test.dir/dods_test.cpp.o"
+  "CMakeFiles/dods_test.dir/dods_test.cpp.o.d"
+  "dods_test"
+  "dods_test.pdb"
+  "dods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_test.dir/esg_test.cpp.o"
+  "CMakeFiles/esg_test.dir/esg_test.cpp.o.d"
+  "esg_test"
+  "esg_test.pdb"
+  "esg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_scale_test.dir/fluid_scale_test.cpp.o"
+  "CMakeFiles/fluid_scale_test.dir/fluid_scale_test.cpp.o.d"
+  "fluid_scale_test"
+  "fluid_scale_test.pdb"
+  "fluid_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

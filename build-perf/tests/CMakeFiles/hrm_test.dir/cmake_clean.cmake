@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrm_test.dir/hrm_test.cpp.o"
+  "CMakeFiles/hrm_test.dir/hrm_test.cpp.o.d"
+  "hrm_test"
+  "hrm_test.pdb"
+  "hrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisource_test.dir/multisource_test.cpp.o"
+  "CMakeFiles/multisource_test.dir/multisource_test.cpp.o.d"
+  "multisource_test"
+  "multisource_test.pdb"
+  "multisource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

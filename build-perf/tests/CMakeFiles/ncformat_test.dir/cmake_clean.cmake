@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncformat_test.dir/ncformat_test.cpp.o"
+  "CMakeFiles/ncformat_test.dir/ncformat_test.cpp.o.d"
+  "ncformat_test"
+  "ncformat_test.pdb"
+  "ncformat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncformat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

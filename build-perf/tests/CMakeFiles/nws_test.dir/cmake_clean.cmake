@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_test.dir/nws_test.cpp.o"
+  "CMakeFiles/nws_test.dir/nws_test.cpp.o.d"
+  "nws_test"
+  "nws_test.pdb"
+  "nws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

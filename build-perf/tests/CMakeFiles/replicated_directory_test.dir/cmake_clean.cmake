@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_directory_test.dir/replicated_directory_test.cpp.o"
+  "CMakeFiles/replicated_directory_test.dir/replicated_directory_test.cpp.o.d"
+  "replicated_directory_test"
+  "replicated_directory_test.pdb"
+  "replicated_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

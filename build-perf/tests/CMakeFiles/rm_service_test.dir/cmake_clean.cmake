@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_service_test.dir/rm_service_test.cpp.o"
+  "CMakeFiles/rm_service_test.dir/rm_service_test.cpp.o.d"
+  "rm_service_test"
+  "rm_service_test.pdb"
+  "rm_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_test.dir/rm_test.cpp.o"
+  "CMakeFiles/rm_test.dir/rm_test.cpp.o.d"
+  "rm_test"
+  "rm_test.pdb"
+  "rm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_volume_test.dir/striped_volume_test.cpp.o"
+  "CMakeFiles/striped_volume_test.dir/striped_volume_test.cpp.o.d"
+  "striped_volume_test"
+  "striped_volume_test.pdb"
+  "striped_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

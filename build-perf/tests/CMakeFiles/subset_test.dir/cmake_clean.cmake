@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_test.dir/subset_test.cpp.o"
+  "CMakeFiles/subset_test.dir/subset_test.cpp.o.d"
+  "subset_test"
+  "subset_test.pdb"
+  "subset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-perf/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-perf/tests/common_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/net_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/security_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/directory_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/gridftp_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/replica_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/nws_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/hrm_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/rm_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/ncformat_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/climate_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/metadata_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/esg_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/subset_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/rm_service_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/dods_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/property_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/replicated_directory_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/striped_volume_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/multisource_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-perf/tests/fluid_scale_test[1]_include.cmake")

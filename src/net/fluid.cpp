@@ -26,11 +26,13 @@ FluidNetwork::~FluidNetwork() {
 Resource* FluidNetwork::add_resource(std::string name, Rate capacity) {
   auto res = std::make_unique<Resource>(name, capacity);
   Resource* ptr = res.get();
+  ptr->id_ = static_cast<std::uint32_t>(resources_by_id_.size());
   ptr->util_gauge_ = &sim_.metrics().gauge("net_resource_utilization",
                                            {{"resource", ptr->name()}});
   auto [it, inserted] = resources_.emplace(std::move(name), std::move(res));
   assert(inserted && "duplicate resource name");
   (void)it;
+  resources_by_id_.push_back(ptr);
   return ptr;
 }
 
@@ -39,23 +41,32 @@ Resource* FluidNetwork::find_resource(const std::string& name) {
   return it == resources_.end() ? nullptr : it->second.get();
 }
 
+void FluidNetwork::on_mutation() {
+  rates_dirty_ = true;
+  if (batch_depth_ == 0) touch();
+}
+
 void FluidNetwork::set_down(Resource* resource, bool down) {
   assert(resource != nullptr);
   if (resource->down_ == down) return;
   resource->down_ = down;
-  touch();
+  on_mutation();
 }
 
 void FluidNetwork::set_background(Resource* resource, Rate load) {
   assert(resource != nullptr);
-  resource->background_ = std::max(0.0, load);
-  touch();
+  const Rate clamped = std::max(0.0, load);
+  if (resource->background_ == clamped) return;
+  resource->background_ = clamped;
+  on_mutation();
 }
 
 void FluidNetwork::set_capacity(Resource* resource, Rate capacity) {
   assert(resource != nullptr);
-  resource->nominal_ = std::max(0.0, capacity);
-  touch();
+  const Rate clamped = std::max(0.0, capacity);
+  if (resource->nominal_ == clamped) return;
+  resource->nominal_ = clamped;
+  on_mutation();
 }
 
 TransferId FluidNetwork::start_transfer(std::vector<FlowSpec> flows,
@@ -69,13 +80,14 @@ TransferId FluidNetwork::start_transfer(std::vector<FlowSpec> flows,
   t.flows.reserve(flows.size());
   for (auto& spec : flows) {
     Flow f;
-    f.path = std::move(spec.path);
+    f.path.reserve(spec.path.size());
+    for (const Resource* r : spec.path) f.path.push_back(r->id());
     f.cap = spec.cap;
     t.flows.push_back(std::move(f));
   }
   const TransferId id = t.id;
   transfers_.emplace(id, std::move(t));
-  touch();
+  on_mutation();
   // A zero-byte transfer may already have completed inside touch().
   if (!transfers_.empty()) ensure_polling();
   return id;
@@ -88,7 +100,7 @@ Bytes FluidNetwork::cancel_transfer(TransferId id) {
   integrate_to_now();
   const auto delivered = static_cast<Bytes>(it->second.delivered + kByteEps);
   transfers_.erase(it);
-  touch();
+  on_mutation();
   return delivered;
 }
 
@@ -97,18 +109,33 @@ void FluidNetwork::set_flow_cap(TransferId id, std::size_t flow_index,
   auto it = transfers_.find(id);
   if (it == transfers_.end()) return;
   assert(flow_index < it->second.flows.size());
+  if (it->second.flows[flow_index].cap == cap) return;
   it->second.flows[flow_index].cap = cap;
-  touch();
+  on_mutation();
+}
+
+void FluidNetwork::set_transfer_cap(TransferId id, Rate cap) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  bool changed = false;
+  for (auto& f : it->second.flows) {
+    if (f.cap != cap) {
+      f.cap = cap;
+      changed = true;
+    }
+  }
+  if (changed) on_mutation();
 }
 
 void FluidNetwork::add_flow(TransferId id, FlowSpec flow) {
   auto it = transfers_.find(id);
   if (it == transfers_.end()) return;
   Flow f;
-  f.path = std::move(flow.path);
+  f.path.reserve(flow.path.size());
+  for (const Resource* r : flow.path) f.path.push_back(r->id());
   f.cap = flow.cap;
   it->second.flows.push_back(std::move(f));
-  touch();
+  on_mutation();
 }
 
 bool FluidNetwork::transfer_active(TransferId id) const {
@@ -120,7 +147,7 @@ Bytes FluidNetwork::transferred(TransferId id) const {
   if (it == transfers_.end()) return 0;
   // Include bytes accrued since the last integration point.
   const double dt = common::to_seconds(sim_.now() - last_integration_);
-  double v = it->second.delivered + it->second.rate() * dt;
+  double v = it->second.delivered + it->second.cached_rate * dt;
   if (it->second.total >= 0.0) v = std::min(v, it->second.total);
   return static_cast<Bytes>(v + kByteEps);
 }
@@ -131,12 +158,16 @@ Bytes FluidNetwork::flow_transferred(TransferId id,
   if (it == transfers_.end() || flow_index >= it->second.flows.size()) return 0;
   const auto& f = it->second.flows[flow_index];
   const double dt = common::to_seconds(sim_.now() - last_integration_);
-  return static_cast<Bytes>(f.delivered + f.rate * dt + kByteEps);
+  double v = f.delivered + f.rate * dt;
+  // A single flow can never carry more than the pool holds; float accrual
+  // at completion would otherwise over-report (the pool itself clamps).
+  if (it->second.total >= 0.0) v = std::min(v, it->second.total);
+  return static_cast<Bytes>(v + kByteEps);
 }
 
 Rate FluidNetwork::current_rate(TransferId id) const {
   auto it = transfers_.find(id);
-  return it == transfers_.end() ? 0.0 : it->second.rate();
+  return it == transfers_.end() ? 0.0 : it->second.cached_rate;
 }
 
 Rate FluidNetwork::flow_rate(TransferId id, std::size_t flow_index) const {
@@ -153,8 +184,10 @@ void FluidNetwork::integrate_to_now() {
   const double dt = common::to_seconds(now - last_integration_);
   last_integration_ = now;
   for (auto& [id, t] : transfers_) {
+    if (t.cached_rate <= 0.0) continue;
     double earned = 0.0;
     for (auto& f : t.flows) {
+      if (f.rate <= 0.0) continue;
       const double d = f.rate * dt;
       f.delivered += d;
       earned += d;
@@ -171,100 +204,129 @@ void FluidNetwork::integrate_to_now() {
 void FluidNetwork::reallocate() {
   // Progressive filling (water-filling) with per-flow caps.  Every flow ends
   // either frozen at its cap or crossing a saturated resource — the classic
-  // max-min optimality condition, asserted by the property tests.
-  struct Entry {
-    Flow* flow;
-    bool frozen = false;
-  };
-  std::vector<Entry> entries;
+  // max-min optimality condition, asserted by the property tests against
+  // the retained reference implementation (net/fluid_reference.hpp).
+  //
+  // All per-resource state lives in flat vectors indexed by dense resource
+  // id; only ids actually crossed by a flow (touched_scratch_) are visited
+  // in the inner loop.
+  ++reallocations_;
+  const std::size_t n_res = resources_by_id_.size();
+  usage_scratch_.resize(n_res);
+  cap_scratch_.resize(n_res);
+  unfrozen_scratch_.resize(n_res);
+  touched_mark_.resize(n_res, 0);
+  touched_scratch_.clear();
+
+  entries_scratch_.clear();
   for (auto& [id, t] : transfers_) {
     for (auto& f : t.flows) {
       f.rate = 0.0;
-      entries.push_back(Entry{&f});
-    }
-  }
-  if (entries.empty()) {
-    publish_utilization({});
-    return;
-  }
-
-  std::map<const Resource*, double> usage;
-  std::map<const Resource*, int> unfrozen_count;
-  for (auto& e : entries) {
-    for (const Resource* r : e.flow->path) {
-      usage.emplace(r, 0.0);
-      ++unfrozen_count[r];
+      entries_scratch_.push_back(SolverEntry{&f, false});
     }
   }
 
-  std::size_t unfrozen = entries.size();
-  while (unfrozen > 0) {
-    // The largest uniform rate increase every unfrozen flow can take.
-    double delta = std::numeric_limits<double>::infinity();
-    for (const auto& e : entries) {
-      if (e.frozen) continue;
-      delta = std::min(delta, e.flow->cap - e.flow->rate);
-    }
-    for (const auto& [r, n] : unfrozen_count) {
-      if (n <= 0) continue;
-      const double room = r->effective_capacity() - usage[r];
-      delta = std::min(delta, room / n);
-    }
-    if (!std::isfinite(delta)) {
-      // No cap and no resource constrains these flows; they are idle paths
-      // in tests.  Freeze at an arbitrarily large rate.
-      delta = 0.0;
-      for (auto& e : entries) {
-        if (!e.frozen) {
-          e.flow->rate = e.flow->cap;  // cap is infinite here; harmless
-          e.frozen = true;
+  if (!entries_scratch_.empty()) {
+    for (const auto& e : entries_scratch_) {
+      for (const std::uint32_t rid : e.flow->path) {
+        if (!touched_mark_[rid]) {
+          touched_mark_[rid] = 1;
+          touched_scratch_.push_back(rid);
+          usage_scratch_[rid] = 0.0;
+          unfrozen_scratch_[rid] = 0;
+          cap_scratch_[rid] = resources_by_id_[rid]->effective_capacity();
         }
+        ++unfrozen_scratch_[rid];
       }
-      break;
     }
-    delta = std::max(0.0, delta);
-    if (delta > 0.0) {
-      for (auto& e : entries) {
+
+    std::size_t unfrozen = entries_scratch_.size();
+    while (unfrozen > 0) {
+      // The largest uniform rate increase every unfrozen flow can take.
+      double delta = std::numeric_limits<double>::infinity();
+      for (const auto& e : entries_scratch_) {
         if (e.frozen) continue;
-        e.flow->rate += delta;
-        for (const Resource* r : e.flow->path) usage[r] += delta;
+        delta = std::min(delta, e.flow->cap - e.flow->rate);
       }
-    }
-    // Freeze flows at their cap or crossing a saturated resource.
-    bool any_frozen = false;
-    for (auto& e : entries) {
-      if (e.frozen) continue;
-      bool freeze = e.flow->rate >= e.flow->cap - kRateEps;
-      if (!freeze) {
-        for (const Resource* r : e.flow->path) {
-          if (usage[r] >= r->effective_capacity() - kRateEps) {
-            freeze = true;
-            break;
+      for (const std::uint32_t rid : touched_scratch_) {
+        const int n = unfrozen_scratch_[rid];
+        if (n <= 0) continue;
+        const double room = cap_scratch_[rid] - usage_scratch_[rid];
+        delta = std::min(delta, room / n);
+      }
+      if (!std::isfinite(delta)) {
+        // No cap and no resource constrains these flows; they are idle paths
+        // in tests.  Freeze at an arbitrarily large rate.
+        for (auto& e : entries_scratch_) {
+          if (!e.frozen) {
+            e.flow->rate = e.flow->cap;  // cap is infinite here; harmless
+            e.frozen = true;
+          }
+        }
+        break;
+      }
+      delta = std::max(0.0, delta);
+      if (delta > 0.0) {
+        for (auto& e : entries_scratch_) {
+          if (e.frozen) continue;
+          e.flow->rate += delta;
+          for (const std::uint32_t rid : e.flow->path) {
+            usage_scratch_[rid] += delta;
           }
         }
       }
-      if (freeze) {
-        e.frozen = true;
-        any_frozen = true;
-        --unfrozen;
-        for (const Resource* r : e.flow->path) --unfrozen_count[r];
+      // Freeze flows at their cap or crossing a saturated resource.
+      bool any_frozen = false;
+      for (auto& e : entries_scratch_) {
+        if (e.frozen) continue;
+        bool freeze = e.flow->rate >= e.flow->cap - kRateEps;
+        if (!freeze) {
+          for (const std::uint32_t rid : e.flow->path) {
+            if (usage_scratch_[rid] >= cap_scratch_[rid] - kRateEps) {
+              freeze = true;
+              break;
+            }
+          }
+        }
+        if (freeze) {
+          e.frozen = true;
+          any_frozen = true;
+          --unfrozen;
+          for (const std::uint32_t rid : e.flow->path) {
+            --unfrozen_scratch_[rid];
+          }
+        }
       }
+      if (!any_frozen) break;  // numerical safety: guarantee progress
     }
-    if (!any_frozen) break;  // numerical safety: guarantee progress
   }
-  publish_utilization(usage);
+
+  // Refresh the per-transfer aggregate cache the rest of the network (rate
+  // queries, completion prediction, byte integration) reads.
+  for (auto& [id, t] : transfers_) {
+    Rate sum = 0.0;
+    for (const auto& f : t.flows) sum += f.rate;
+    t.cached_rate = sum;
+  }
+
+  publish_utilization();
+  for (const std::uint32_t rid : touched_scratch_) touched_mark_[rid] = 0;
 }
 
-void FluidNetwork::publish_utilization(
-    const std::map<const Resource*, double>& usage) {
-  for (auto& [name, res] : resources_) {
-    const auto it = usage.find(res.get());
-    const double used =
-        res->background_ + (it == usage.end() ? 0.0 : it->second);
+void FluidNetwork::publish_utilization() {
+  // Runs only after a solve; touched_mark_/usage_scratch_ still hold the
+  // foreground usage.  Gauges are written only when the value moved so
+  // steady-state reallocations do not churn the metrics registry.
+  for (Resource* res : resources_by_id_) {
+    const double foreground =
+        touched_mark_[res->id_] ? usage_scratch_[res->id_] : 0.0;
+    const double used = res->background_ + foreground;
     const double util =
         res->nominal_ > 0.0 ? std::min(1.0, used / res->nominal_) : 0.0;
+    if (util == res->utilization_) continue;
     res->utilization_ = util;
     res->util_gauge_->set(util);
+    ++util_gauge_updates_;
   }
 }
 
@@ -274,9 +336,8 @@ void FluidNetwork::schedule_next_event() {
   for (const auto& [id, t] : transfers_) {
     const double rem = t.remaining();
     if (!std::isfinite(rem)) continue;
-    const Rate rate = t.rate();
-    if (rate <= kRateEps) continue;
-    earliest = std::min(earliest, rem / rate);
+    if (t.cached_rate <= kRateEps) continue;
+    earliest = std::min(earliest, rem / t.cached_rate);
   }
   if (!std::isfinite(earliest)) return;
   const auto delay = static_cast<SimDuration>(
@@ -291,14 +352,15 @@ void FluidNetwork::touch() {
     return;
   }
   in_touch_ = true;
+  ++touches_;
   do {
     dirty_ = false;
     integrate_to_now();
 
     // Surface progress and collect completions before reallocating, since
     // completion callbacks typically start follow-on transfers.
-    std::vector<TransferId> completed;
-    std::vector<std::function<void()>> notify;
+    completed_scratch_.clear();
+    notify_scratch_.clear();
     for (auto& [id, t] : transfers_) {
       const double delta = t.delivered - t.reported;
       if (delta >= 1.0 && t.callbacks.on_progress) {
@@ -307,18 +369,28 @@ void FluidNetwork::touch() {
         // Defer: user callbacks must not see a half-updated network.
         auto cb = t.callbacks.on_progress;
         const SimTime now = sim_.now();
-        notify.push_back([cb, whole, now] { cb(whole, now); });
+        notify_scratch_.push_back([cb, whole, now] { cb(whole, now); });
       }
       if (t.total >= 0.0 && t.remaining() <= kByteEps) {
-        completed.push_back(id);
-        if (t.callbacks.on_complete) notify.push_back(t.callbacks.on_complete);
+        completed_scratch_.push_back(id);
+        if (t.callbacks.on_complete) {
+          notify_scratch_.push_back(t.callbacks.on_complete);
+        }
       }
     }
-    for (TransferId id : completed) transfers_.erase(id);
-    for (auto& fn : notify) fn();  // may re-enter touch(); sets dirty_
+    if (!completed_scratch_.empty()) rates_dirty_ = true;
+    for (TransferId id : completed_scratch_) transfers_.erase(id);
+    for (auto& fn : notify_scratch_) fn();  // may re-enter touch(); sets dirty_
 
-    reallocate();
-    schedule_next_event();
+    // The incremental fast path: when no flow set, cap, capacity or
+    // background changed, current rates — and the already-scheduled
+    // next-completion event — are still exact.  Poll ticks and
+    // pure-progress touches stop here without running the solver.
+    if (rates_dirty_) {
+      rates_dirty_ = false;
+      reallocate();
+      schedule_next_event();
+    }
   } while (dirty_);
   in_touch_ = false;
   if (transfers_.empty()) poll_event_.cancel();

@@ -16,6 +16,26 @@
 // events at mutations and at exactly-predicted completions, plus an optional
 // periodic poll that gives the bandwidth samplers their 100 ms resolution
 // (Table 1 reports a peak over 0.1 s).
+//
+// The solver is built for thousands of concurrent flows:
+//
+//  * Dense indexing — resources are interned to small integer ids at
+//    add_resource() time; flow paths are id arrays and all per-resource
+//    solver state lives in flat vectors reused across invocations, so the
+//    inner water-filling loop never touches a std::map.
+//  * Incremental reallocation — a rates-dirty flag tracks whether any
+//    flow/cap/capacity/background changed since the last solve.  Poll ticks
+//    and pure-progress touches integrate byte counts and fire progress
+//    callbacks without re-running the solver or rescheduling the (still
+//    valid) next-completion event.
+//  * Coalesced bookkeeping — each transfer caches its aggregate rate
+//    (refreshed by the solver), utilization gauges are written only when a
+//    value changes, and batch()/set_transfer_cap() fold multi-mutation
+//    updates into one solve.
+//
+// The pre-dense solver is retained verbatim in net/fluid_reference.hpp; the
+// property tests assert rate-vector equivalence and bench_fluid_scale tracks
+// the speedup.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +67,9 @@ class Resource {
       : name_(std::move(name)), nominal_(capacity) {}
 
   const std::string& name() const { return name_; }
+  /// Dense index assigned at add_resource() time; stable for the network's
+  /// lifetime and contiguous from 0.
+  std::uint32_t id() const { return id_; }
   Rate nominal_capacity() const { return nominal_; }
   bool down() const { return down_; }
   Rate background_load() const { return background_; }
@@ -65,6 +88,7 @@ class Resource {
  private:
   friend class FluidNetwork;
   std::string name_;
+  std::uint32_t id_ = 0;
   Rate nominal_;
   Rate background_ = 0.0;  // consumed by modeled cross-traffic
   bool down_ = false;      // failure injection
@@ -127,12 +151,28 @@ class FluidNetwork {
   /// Adjust one member flow's cap (slow-start ramp, AIMD backoff).
   void set_flow_cap(TransferId id, std::size_t flow_index, Rate cap);
 
+  /// Set every member flow's cap at once — one reallocation instead of one
+  /// per stream (the TCP slow-start ramp caps all streams together).
+  void set_transfer_cap(TransferId id, Rate cap);
+
   /// Add another member flow to a running transfer (parallelism changes).
   void add_flow(TransferId id, FlowSpec flow);
 
+  /// Coalesce several mutations into a single reallocation:
+  /// `fluid.batch([&]{ set_down(a, true); set_down(b, true); });`
+  /// Nested batches solve once at the outermost end.
+  template <typename F>
+  void batch(F&& f) {
+    ++batch_depth_;
+    f();
+    --batch_depth_;
+    if (batch_depth_ == 0 && rates_dirty_) touch();
+  }
+
   bool transfer_active(TransferId id) const;
   Bytes transferred(TransferId id) const;
-  /// Bytes carried by one member flow (per-stripe restart markers).
+  /// Bytes carried by one member flow (per-stripe restart markers); clamped
+  /// to the transfer's pool like transferred().
   Bytes flow_transferred(TransferId id, std::size_t flow_index) const;
   /// Current aggregate rate of the transfer (post-allocation).
   Rate current_rate(TransferId id) const;
@@ -141,12 +181,22 @@ class FluidNetwork {
 
   std::size_t active_transfers() const { return transfers_.size(); }
 
-  /// Force integration + reallocation now (tests use this).
+  /// Force integration + reallocation-if-dirty now (tests use this).
   void update();
+
+  // ---- introspection (tests + bench_fluid_scale) ----
+
+  /// How many times the water-filling solver has run.  Steady-state poll
+  /// ticks must not advance this.
+  std::uint64_t reallocations() const { return reallocations_; }
+  /// How many touches (integration passes) have run.
+  std::uint64_t touches() const { return touches_; }
+  /// How many utilization gauge writes actually happened (value changes).
+  std::uint64_t util_gauge_updates() const { return util_gauge_updates_; }
 
  private:
   struct Flow {
-    std::vector<const Resource*> path;
+    std::vector<std::uint32_t> path;  // dense resource ids
     Rate cap = kUnlimitedRate;
     Rate rate = 0.0;
     double delivered = 0.0;  // bytes carried by this flow
@@ -158,36 +208,56 @@ class FluidNetwork {
     double total = -1.0;      // <0: unbounded
     double delivered = 0.0;   // bytes drained from the pool
     double reported = 0.0;    // bytes already surfaced via on_progress
+    Rate cached_rate = 0.0;   // aggregate flow rate, refreshed by the solver
     TransferCallbacks callbacks;
 
     double remaining() const {
       return total < 0 ? std::numeric_limits<double>::infinity()
                        : total - delivered;
     }
-    Rate rate() const {
-      Rate sum = 0.0;
-      for (const auto& f : flows) sum += f.rate;
-      return sum;
-    }
   };
 
   void integrate_to_now();
   void reallocate();
-  void publish_utilization(const std::map<const Resource*, double>& usage);
+  void publish_utilization();  // reads the solver's usage scratch
   void schedule_next_event();
-  void touch();  // integrate, run completions, reallocate, reschedule
+  void touch();  // integrate, run completions, reallocate-if-dirty, reschedule
   void ensure_polling();
+  /// Record a rate-affecting change; solves immediately unless inside
+  /// batch() or a touch already in flight.
+  void on_mutation();
 
   sim::Simulation& sim_;
   SimDuration poll_interval_;
   std::map<std::string, std::unique_ptr<Resource>> resources_;
+  std::vector<Resource*> resources_by_id_;  // dense id -> resource
   std::map<TransferId, Transfer> transfers_;
   TransferId next_id_ = 1;
   SimTime last_integration_ = 0;
   sim::EventHandle next_event_;
   sim::EventHandle poll_event_;
   bool in_touch_ = false;
-  bool dirty_ = false;
+  bool dirty_ = false;        // re-run the touch loop (re-entrant mutation)
+  bool rates_dirty_ = false;  // some flow/cap/capacity/background changed
+  int batch_depth_ = 0;
+  std::uint64_t reallocations_ = 0;
+  std::uint64_t touches_ = 0;
+  std::uint64_t util_gauge_updates_ = 0;
+
+  // Solver scratch, reused across reallocations (indexed by resource id).
+  struct SolverEntry {
+    Flow* flow;
+    bool frozen = false;
+  };
+  std::vector<SolverEntry> entries_scratch_;
+  std::vector<double> usage_scratch_;
+  std::vector<double> cap_scratch_;
+  std::vector<int> unfrozen_scratch_;
+  std::vector<std::uint32_t> touched_scratch_;  // ids used by any flow
+  std::vector<std::uint8_t> touched_mark_;      // 0/1 per id, cleared on exit
+  // Touch scratch (safe to reuse: touch never runs re-entrantly).
+  std::vector<TransferId> completed_scratch_;
+  std::vector<std::function<void()>> notify_scratch_;
 };
 
 }  // namespace esg::net

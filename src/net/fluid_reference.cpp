@@ -1,0 +1,91 @@
+#include "net/fluid_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace esg::net {
+
+namespace {
+constexpr double kRateEps = 1e-6;  // must match net/fluid.cpp
+}  // namespace
+
+void reference_waterfill(std::vector<ReferenceFlow>& flows) {
+  struct Entry {
+    ReferenceFlow* flow;
+    bool frozen = false;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(flows.size());
+  for (auto& f : flows) {
+    f.rate = 0.0;
+    entries.push_back(Entry{&f});
+  }
+  if (entries.empty()) return;
+
+  std::map<const Resource*, double> usage;
+  std::map<const Resource*, int> unfrozen_count;
+  for (auto& e : entries) {
+    for (const Resource* r : e.flow->path) {
+      usage.emplace(r, 0.0);
+      ++unfrozen_count[r];
+    }
+  }
+
+  std::size_t unfrozen = entries.size();
+  while (unfrozen > 0) {
+    // The largest uniform rate increase every unfrozen flow can take.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto& e : entries) {
+      if (e.frozen) continue;
+      delta = std::min(delta, e.flow->cap - e.flow->rate);
+    }
+    for (const auto& [r, n] : unfrozen_count) {
+      if (n <= 0) continue;
+      const double room = r->effective_capacity() - usage[r];
+      delta = std::min(delta, room / n);
+    }
+    if (!std::isfinite(delta)) {
+      // No cap and no resource constrains these flows; freeze at cap.
+      for (auto& e : entries) {
+        if (!e.frozen) {
+          e.flow->rate = e.flow->cap;
+          e.frozen = true;
+        }
+      }
+      break;
+    }
+    delta = std::max(0.0, delta);
+    if (delta > 0.0) {
+      for (auto& e : entries) {
+        if (e.frozen) continue;
+        e.flow->rate += delta;
+        for (const Resource* r : e.flow->path) usage[r] += delta;
+      }
+    }
+    // Freeze flows at their cap or crossing a saturated resource.
+    bool any_frozen = false;
+    for (auto& e : entries) {
+      if (e.frozen) continue;
+      bool freeze = e.flow->rate >= e.flow->cap - kRateEps;
+      if (!freeze) {
+        for (const Resource* r : e.flow->path) {
+          if (usage[r] >= r->effective_capacity() - kRateEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        e.frozen = true;
+        any_frozen = true;
+        --unfrozen;
+        for (const Resource* r : e.flow->path) --unfrozen_count[r];
+      }
+    }
+    if (!any_frozen) break;  // numerical safety: guarantee progress
+  }
+}
+
+}  // namespace esg::net

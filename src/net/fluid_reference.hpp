@@ -1,0 +1,38 @@
+// Reference max-min water-filling solver.
+//
+// This is the pre-dense FluidNetwork::reallocate() kept verbatim: pointer
+// paths, std::map bookkeeping, state rebuilt from scratch on every call.  It
+// exists for two reasons:
+//
+//  * Correctness oracle — tests/fluid_scale_test.cpp asserts the dense
+//    incremental solver in net/fluid.cpp produces identical rate vectors on
+//    randomized topologies, including mid-transfer cap changes, resource
+//    down/up and flow additions.
+//  * Performance baseline — bench/bench_fluid_scale.cpp times this
+//    implementation against the dense solver on the same flow population,
+//    so the speedup is measured inside one binary rather than across
+//    commits.
+//
+// Do not optimise this file; its value is being the old algorithm.
+#pragma once
+
+#include <vector>
+
+#include "net/fluid.hpp"
+
+namespace esg::net {
+
+/// One flow as the reference solver sees it: a pointer path over live
+/// resources (whose effective_capacity() is read at solve time) and a cap.
+struct ReferenceFlow {
+  std::vector<const Resource*> path;
+  Rate cap = kUnlimitedRate;
+  Rate rate = 0.0;  // output
+};
+
+/// Assign max-min fair rates with per-flow caps by progressive filling.
+/// Exactly the seed FluidNetwork solver: every flow ends either frozen at
+/// its cap or crossing a saturated resource.
+void reference_waterfill(std::vector<ReferenceFlow>& flows);
+
+}  // namespace esg::net

@@ -117,9 +117,8 @@ void TcpTransfer::begin() {
 void TcpTransfer::apply_cap(Rate cap) {
   current_cap_ = cap;
   if (transfer_id_ == 0) return;
-  for (int i = 0; i < options_.streams; ++i) {
-    net_.fluid().set_flow_cap(transfer_id_, static_cast<std::size_t>(i), cap);
-  }
+  // One reallocation for the whole stream group, not one per stream.
+  net_.fluid().set_transfer_cap(transfer_id_, cap);
 }
 
 Bytes TcpTransfer::delivered() const {

@@ -193,15 +193,19 @@ void Network::set_host_down(Host& host, bool down) {
 }
 
 void Network::set_link_down(Link& link, bool down) {
-  fluid_.set_down(link.forward_, down);
-  fluid_.set_down(link.backward_, down);
+  fluid_.batch([&] {
+    fluid_.set_down(link.forward_, down);
+    fluid_.set_down(link.backward_, down);
+  });
 }
 
 void Network::set_link_brownout(Link& link, double fraction) {
   const Rate capacity =
       link.nominal_capacity_ * std::clamp(fraction, 0.0, 1.0);
-  fluid_.set_capacity(link.forward_, capacity);
-  fluid_.set_capacity(link.backward_, capacity);
+  fluid_.batch([&] {
+    fluid_.set_capacity(link.forward_, capacity);
+    fluid_.set_capacity(link.backward_, capacity);
+  });
 }
 
 void Network::set_link_loss(Link& link, double loss) {

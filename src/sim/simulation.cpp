@@ -1,16 +1,33 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace esg::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
+void Simulation::push_event(Event event) {
+  queue_.push_back(std::move(event));
+  std::push_heap(queue_.begin(), queue_.end(), EventAfter{});
+  // Purge when lazily-cancelled events outnumber live ones 2:1
+  // (3*dead > 2*size  <=>  dead > 2*(size - dead)).
+  if (queue_.size() >= kPurgeMinQueue && 3 * *cancelled_ > 2 * queue_.size()) {
+    purge_cancelled();
+  }
+}
+
+void Simulation::purge_cancelled() {
+  std::erase_if(queue_, [](const Event& e) { return e.alive && !*e.alive; });
+  std::make_heap(queue_.begin(), queue_.end(), EventAfter{});
+  *cancelled_ = 0;
+}
+
 EventHandle Simulation::schedule_at(SimTime at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule in the past");
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+  push_event(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive), cancelled_);
 }
 
 EventHandle Simulation::schedule_every(SimDuration period,
@@ -26,19 +43,21 @@ EventHandle Simulation::schedule_every(SimDuration period,
       *alive = false;
       return;
     }
-    queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
+    push_event(Event{now_ + period, next_seq_++, *tick, alive});
   };
-  queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
-  return EventHandle(std::move(alive));
+  push_event(Event{now_ + period, next_seq_++, *tick, alive});
+  return EventHandle(std::move(alive), cancelled_);
 }
 
 bool Simulation::step() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; move out via const_cast, standard idiom
-    // given we pop immediately.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.alive && !*ev.alive) continue;  // cancelled
+    std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    if (ev.alive && !*ev.alive) {  // cancelled
+      if (*cancelled_ > 0) --*cancelled_;
+      continue;
+    }
     assert(ev.at >= now_);
     now_ = ev.at;
     ++fired_;
@@ -56,11 +75,14 @@ void Simulation::run() {
 void Simulation::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Peek next live event time.
-    if (queue_.top().alive && !*queue_.top().alive) {
-      queue_.pop();
+    const Event& head = queue_.front();
+    if (head.alive && !*head.alive) {
+      std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});
+      queue_.pop_back();
+      if (*cancelled_ > 0) --*cancelled_;
       continue;
     }
-    if (queue_.top().at > deadline) break;
+    if (head.at > deadline) break;
     step();
   }
   now_ = std::max(now_, deadline);

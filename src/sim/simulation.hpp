@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -41,15 +40,24 @@ class EventHandle {
 
   /// Cancel the event if it has not fired yet.  Safe to call repeatedly.
   void cancel() {
-    if (alive_) *alive_ = false;
+    if (alive_ && *alive_) {
+      *alive_ = false;
+      // Tell the owning simulation a dead event is (probably) still queued
+      // so it can purge when cancellations pile up.  The counter outlives
+      // the simulation (shared ownership), so late cancels stay safe.
+      if (cancelled_) ++*cancelled_;
+    }
   }
 
   bool pending() const { return alive_ && *alive_; }
 
  private:
   friend class Simulation;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  EventHandle(std::shared_ptr<bool> alive,
+              std::shared_ptr<std::uint64_t> cancelled)
+      : alive_(std::move(alive)), cancelled_(std::move(cancelled)) {}
   std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::uint64_t> cancelled_;
 };
 
 class Simulation {
@@ -110,15 +118,33 @@ class Simulation {
     }
   };
 
+  // Min-heap comparator: push_heap/pop_heap keep the earliest event at the
+  // front.  The queue is a plain vector so lazily-cancelled events can be
+  // purged in place (std::erase_if + make_heap) when they outnumber live
+  // ones — long runs that cancel heavily (watchdogs, ramps, retries) would
+  // otherwise bloat the heap and slow every push/pop.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const { return a > b; }
+  };
+
   bool step();  // fire one event; false if queue empty
+  void push_event(Event event);
+  void purge_cancelled();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> queue_;  // heap ordered by EventAfter
+  // Dead events believed still queued; shared with every EventHandle.  An
+  // over-count (cancel after fire) only triggers an early purge, which
+  // resets it from ground truth.
+  std::shared_ptr<std::uint64_t> cancelled_ =
+      std::make_shared<std::uint64_t>(0);
   common::Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{[this] { return now_; }};
+
+  static constexpr std::size_t kPurgeMinQueue = 64;
 };
 
 }  // namespace esg::sim

@@ -1,0 +1,335 @@
+// Tests for the dense incremental fluid solver: rate-vector equivalence
+// against the retained reference water-filling implementation on randomized
+// topologies under churn (cap changes, resource down/up, flow additions,
+// capacity and background edits), the steady-state fast path (poll ticks
+// must never invoke the solver), mutation coalescing, and the simulation's
+// lazily-cancelled-event purge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fluid.hpp"
+#include "net/fluid_reference.hpp"
+#include "sim/simulation.hpp"
+
+namespace ec = esg::common;
+namespace en = esg::net;
+namespace es = esg::sim;
+
+using ec::kMillisecond;
+using ec::kSecond;
+
+namespace {
+
+// Mirror of the flow population handed to the network, kept in the same
+// (transfer-id, flow-index) order the dense solver iterates, so the
+// reference solver sees bit-identical inputs.
+struct FlowMirror {
+  std::vector<const en::Resource*> path;
+  en::Rate cap;
+};
+
+struct TransferMirror {
+  en::TransferId id = 0;
+  std::vector<FlowMirror> flows;
+};
+
+double rate_tolerance(double reference_rate) {
+  // The two solvers perform the same arithmetic in the same order, so the
+  // results should agree to the last bit; allow 1e-6 absolute plus a
+  // relative term for the multi-MB/s range.
+  return 1e-6 + 1e-9 * std::abs(reference_rate);
+}
+
+}  // namespace
+
+// One hundred randomized scenarios, each checked after every mutation round:
+// the dense incremental solver and the reference water-filling must assign
+// identical rate vectors.
+class FluidEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidEquivalence, DenseSolverMatchesReferenceUnderChurn) {
+  ec::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ull + 17);
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+
+  const int n_resources = 3 + static_cast<int>(rng.uniform_int(8));
+  std::vector<en::Resource*> resources;
+  for (int i = 0; i < n_resources; ++i) {
+    resources.push_back(fluid.add_resource("r" + std::to_string(i),
+                                           rng.uniform(2e5, 8e6)));
+  }
+
+  auto random_path = [&] {
+    std::vector<const en::Resource*> path;
+    for (auto* r : resources) {
+      if (rng.uniform() < 0.4) path.push_back(r);
+    }
+    if (path.empty()) path.push_back(resources[rng.uniform_int(resources.size())]);
+    return path;
+  };
+  auto random_cap = [&]() -> en::Rate {
+    return rng.uniform() < 0.35 ? rng.uniform(5e4, 3e6) : en::kUnlimitedRate;
+  };
+
+  std::vector<TransferMirror> mirrors;
+  const int n_transfers = 2 + static_cast<int>(rng.uniform_int(14));
+  for (int i = 0; i < n_transfers; ++i) {
+    TransferMirror m;
+    const int n_flows = 1 + static_cast<int>(rng.uniform_int(3));
+    std::vector<en::FlowSpec> specs;
+    for (int j = 0; j < n_flows; ++j) {
+      FlowMirror fm{random_path(), random_cap()};
+      specs.push_back(en::FlowSpec{fm.path, fm.cap});
+      m.flows.push_back(std::move(fm));
+    }
+    // Unbounded: the population must stay stable across the whole scenario.
+    m.id = fluid.start_transfer(std::move(specs), en::kUnboundedBytes, {});
+    mirrors.push_back(std::move(m));
+  }
+
+  auto check_equivalence = [&] {
+    fluid.update();
+    std::vector<en::ReferenceFlow> ref;
+    for (const auto& m : mirrors) {
+      for (const auto& f : m.flows) {
+        ref.push_back(en::ReferenceFlow{f.path, f.cap, 0.0});
+      }
+    }
+    en::reference_waterfill(ref);
+    std::size_t k = 0;
+    for (const auto& m : mirrors) {
+      for (std::size_t j = 0; j < m.flows.size(); ++j, ++k) {
+        const double dense = fluid.flow_rate(m.id, j);
+        const double reference = ref[k].rate;
+        ASSERT_TRUE(std::isfinite(dense));
+        EXPECT_NEAR(dense, reference, rate_tolerance(reference))
+            << "transfer " << m.id << " flow " << j;
+      }
+    }
+  };
+
+  check_equivalence();
+
+  for (int round = 0; round < 6; ++round) {
+    switch (rng.uniform_int(6)) {
+      case 0: {  // per-flow cap change mid-transfer
+        auto& m = mirrors[rng.uniform_int(mirrors.size())];
+        const auto j = rng.uniform_int(m.flows.size());
+        const en::Rate cap = random_cap();
+        m.flows[j].cap = cap;
+        fluid.set_flow_cap(m.id, j, cap);
+        break;
+      }
+      case 1: {  // resource down/up
+        auto* r = resources[rng.uniform_int(resources.size())];
+        fluid.set_down(r, !r->down());
+        break;
+      }
+      case 2: {  // nominal capacity change
+        auto* r = resources[rng.uniform_int(resources.size())];
+        fluid.set_capacity(r, rng.uniform(2e5, 8e6));
+        break;
+      }
+      case 3: {  // background cross-traffic
+        auto* r = resources[rng.uniform_int(resources.size())];
+        fluid.set_background(r, rng.uniform(0.0, r->nominal_capacity()));
+        break;
+      }
+      case 4: {  // add a flow to a running transfer
+        auto& m = mirrors[rng.uniform_int(mirrors.size())];
+        FlowMirror fm{random_path(), random_cap()};
+        fluid.add_flow(m.id, en::FlowSpec{fm.path, fm.cap});
+        m.flows.push_back(std::move(fm));
+        break;
+      }
+      case 5: {  // advance time across poll ticks; rates must stay put
+        sim.run_until(sim.now() +
+                      static_cast<ec::SimDuration>(
+                          rng.uniform(0.05, 0.6) * kSecond));
+        break;
+      }
+    }
+    check_equivalence();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, FluidEquivalence,
+                         ::testing::Range(1, 101));
+
+// ---------- incremental fast path ----------
+
+TEST(FluidScale, SteadyStatePollTicksSkipTheSolver) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim, 100 * kMillisecond);
+  auto* a = fluid.add_resource("a", 1'000'000);
+  auto* b = fluid.add_resource("b", 2'000'000);
+  ec::Bytes progressed = 0;
+  auto id = fluid.start_transfer(
+      {en::FlowSpec{{a, b}, en::kUnlimitedRate}}, en::kUnboundedBytes,
+      {[&](ec::Bytes d, ec::SimTime) { progressed += d; }, nullptr});
+  fluid.start_transfer({en::FlowSpec{{b}, en::kUnlimitedRate}},
+                       en::kUnboundedBytes, {});
+
+  const std::uint64_t solves_before = fluid.reallocations();
+  const std::uint64_t touches_before = fluid.touches();
+  sim.run_until(5 * kSecond);  // ~50 poll ticks, zero mutations
+
+  EXPECT_EQ(fluid.reallocations(), solves_before)
+      << "steady-state poll ticks must not re-run the solver";
+  EXPECT_GE(fluid.touches(), touches_before + 40)
+      << "poll ticks should still integrate progress";
+  EXPECT_GT(progressed, 0);
+  // Progress accounting stays exact without reallocation.
+  EXPECT_NEAR(static_cast<double>(fluid.transferred(id)), 1'000'000.0 * 5.0,
+              2.0);
+}
+
+TEST(FluidScale, SteadyStatePollTicksSkipGaugeWrites) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim, 100 * kMillisecond);
+  auto* r = fluid.add_resource("pipe", 1'000'000);
+  auto id = fluid.start_transfer({en::FlowSpec{{r}, 250'000}},
+                                 en::kUnboundedBytes, {});
+  const std::uint64_t writes_before = fluid.util_gauge_updates();
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(fluid.util_gauge_updates(), writes_before);
+  // A real change still lands in the gauge.
+  fluid.set_flow_cap(id, 0, 500'000);
+  EXPECT_GT(fluid.util_gauge_updates(), writes_before);
+  EXPECT_NEAR(r->utilization(), 0.5, 1e-9);
+}
+
+TEST(FluidScale, CompletionStillExactWithFastPath) {
+  // The next-completion event is scheduled once per reallocation and must
+  // stay valid across intervening poll ticks.
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim, 100 * kMillisecond);
+  auto* r = fluid.add_resource("pipe", 1'000'000);
+  bool done = false;
+  fluid.start_transfer({en::FlowSpec{{r}, en::kUnlimitedRate}}, 10'000'000,
+                       {nullptr, [&] { done = true; }});
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(ec::to_seconds(sim.now()), 10.0, 0.01);
+}
+
+TEST(FluidScale, RedundantMutationsDoNotTriggerSolve) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  auto* r = fluid.add_resource("pipe", 1'000'000);
+  auto id = fluid.start_transfer({en::FlowSpec{{r}, 250'000}},
+                                 en::kUnboundedBytes, {});
+  const std::uint64_t solves = fluid.reallocations();
+  fluid.set_down(r, false);          // already up
+  fluid.set_background(r, 0.0);      // already zero
+  fluid.set_capacity(r, 1'000'000);  // unchanged
+  fluid.set_flow_cap(id, 0, 250'000);  // unchanged
+  fluid.set_transfer_cap(id, 250'000);  // unchanged
+  EXPECT_EQ(fluid.reallocations(), solves);
+}
+
+TEST(FluidScale, BatchCoalescesMutationsIntoOneSolve) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  auto* a = fluid.add_resource("a", 1'000'000);
+  auto* b = fluid.add_resource("b", 1'000'000);
+  auto* c = fluid.add_resource("c", 1'000'000);
+  auto id = fluid.start_transfer({en::FlowSpec{{a, b, c}, en::kUnlimitedRate}},
+                                 en::kUnboundedBytes, {});
+  const std::uint64_t solves = fluid.reallocations();
+  fluid.batch([&] {
+    fluid.set_background(a, 200'000);
+    fluid.set_capacity(b, 500'000);
+    fluid.set_down(c, false);  // no-op inside the batch is fine
+  });
+  EXPECT_EQ(fluid.reallocations(), solves + 1);
+  EXPECT_NEAR(fluid.current_rate(id), 500'000, 1.0);  // b is the bottleneck
+}
+
+TEST(FluidScale, SetTransferCapSolvesOnceForAllStreams) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  auto* r = fluid.add_resource("pipe", 10'000'000);
+  std::vector<en::FlowSpec> flows(8, en::FlowSpec{{r}, 100'000});
+  auto id = fluid.start_transfer(std::move(flows), en::kUnboundedBytes, {});
+  const std::uint64_t solves = fluid.reallocations();
+  fluid.set_transfer_cap(id, 200'000);
+  EXPECT_EQ(fluid.reallocations(), solves + 1);
+  EXPECT_NEAR(fluid.current_rate(id), 8 * 200'000.0, 1.0);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(fluid.flow_rate(id, j), 200'000.0, 1.0);
+  }
+}
+
+// ---------- per-flow byte accounting ----------
+
+TEST(FluidScale, FlowTransferredClampedToPool) {
+  // Sampled at arbitrary instants (between integrations, around the
+  // completion event), no member flow may ever report more bytes than the
+  // transfer's pool holds.
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim, 0);  // no polling: long extrapolation windows
+  auto* r = fluid.add_resource("pipe", 999'983);  // prime: ragged division
+  constexpr ec::Bytes kTotal = 1'000'003;
+  auto id = fluid.start_transfer(
+      {en::FlowSpec{{r}, en::kUnlimitedRate},
+       en::FlowSpec{{r}, en::kUnlimitedRate}},
+      kTotal, {});
+  for (int i = 1; i <= 40; ++i) {
+    sim.schedule_at(i * 26 * kMillisecond, [&] {
+      if (!fluid.transfer_active(id)) return;
+      const ec::Bytes f0 = fluid.flow_transferred(id, 0);
+      const ec::Bytes f1 = fluid.flow_transferred(id, 1);
+      EXPECT_LE(f0, kTotal);
+      EXPECT_LE(f1, kTotal);
+      EXPECT_LE(fluid.transferred(id), kTotal);
+    });
+  }
+  sim.run();
+  EXPECT_FALSE(fluid.transfer_active(id));
+}
+
+// ---------- simulation queue hygiene ----------
+
+TEST(SimulationQueue, LazyCancelledEventsArePurged) {
+  es::Simulation sim;
+  std::vector<es::EventHandle> handles;
+  handles.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        sim.schedule_at((i + 1) * kSecond, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 1000u);
+  for (auto& h : handles) h.cancel();
+  // The next push notices dead events outnumber live 2:1 and compacts.
+  sim.schedule_at(2000 * kSecond, [] {});
+  EXPECT_LT(sim.pending_events(), 16u);
+  // The survivor still fires.
+  std::uint64_t fired_before = sim.events_fired();
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), fired_before + 1);
+  EXPECT_EQ(sim.now(), 2000 * kSecond);
+}
+
+TEST(SimulationQueue, PurgeKeepsLiveEventsAndOrder) {
+  es::Simulation sim;
+  std::vector<int> order;
+  std::vector<es::EventHandle> dead;
+  for (int i = 0; i < 300; ++i) {
+    const int at = i + 1;
+    if (i % 3 == 0) {
+      sim.schedule_at(at * kMillisecond, [&order, at] { order.push_back(at); });
+    } else {
+      dead.push_back(sim.schedule_at(at * kMillisecond, [] { FAIL(); }));
+    }
+  }
+  for (auto& h : dead) h.cancel();
+  sim.schedule_at(400 * kMillisecond, [&order] { order.push_back(400); });
+  sim.run();
+  ASSERT_EQ(order.size(), 101u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(order.back(), 400);
+}
