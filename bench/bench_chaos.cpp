@@ -16,6 +16,8 @@
 
 #include "bench_util.hpp"
 #include "directory/service.hpp"
+#include "obs/manifest.hpp"
+#include "obs/slo.hpp"
 #include "hrm/hrm.hpp"
 #include "mds/mds.hpp"
 #include "replica/catalog.hpp"
@@ -54,6 +56,8 @@ struct ChaosOutcome {
   double gridftp_retries = 0.0;
   double stage_retries = 0.0;
   obs::MetricsSnapshot snapshot;
+  obs::RunManifest manifest;
+  std::string manifest_json;
 };
 
 ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
@@ -302,6 +306,18 @@ ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
       out.snapshot.family_total("chaos_faults_injected_total");
   out.gridftp_retries = out.snapshot.value_or("gridftp_retries_total", {});
   out.stage_retries = out.snapshot.value_or("rm_stage_retries_total", {});
+
+  // The run's full identity in one artifact: same seed => identical bytes.
+  out.manifest = obs::capture_manifest(
+      "chaos", seed, "star: client-site/hub/lbnl/isi, 3 uplinks",
+      out.timeline_hash, sim.flight_recorder(), out.snapshot);
+  out.manifest.set_bench("files_completed", out.completed);
+  out.manifest.set_bench("files_failed", out.failed);
+  out.manifest.set_bench("total_bytes", static_cast<double>(out.total_bytes));
+  out.manifest.set_bench("goodput_mbps", out.goodput_mbps);
+  out.manifest.set_bench("recovery_seconds", out.recovery_seconds);
+  out.manifest.set_bench("finished_at_s", common::to_seconds(out.finished_at));
+  out.manifest_json = out.manifest.to_json();
   return out;
 }
 
@@ -319,12 +335,28 @@ int main() {
 
   ChaosOutcome a = run_world(kSeed, /*verbose=*/true);
   ChaosOutcome b = run_world(kSeed, /*verbose=*/false);
+  // A perturbed third run: different seed, so the watchdog must flag it.
+  ChaosOutcome perturbed = run_world(kSeed + 1, /*verbose=*/false);
 
   const bool deterministic = a.timeline_hash == b.timeline_hash &&
                              a.completed == b.completed &&
                              a.failed == b.failed &&
                              a.total_bytes == b.total_bytes &&
-                             a.finished_at == b.finished_at;
+                             a.finished_at == b.finished_at &&
+                             a.manifest_json == b.manifest_json;
+
+  obs::write_file("MANIFEST_chaos.json", a.manifest_json);
+  obs::write_file("MANIFEST_chaos_b.json", b.manifest_json);
+  obs::write_file("MANIFEST_chaos_perturbed.json",
+                  perturbed.manifest_json);
+
+  // Run-diff watchdog: a vs b must be clean, a vs perturbed must drift.
+  const obs::DriftTolerance tolerance;
+  const auto self_diff = obs::diff_manifests(a.manifest, b.manifest,
+                                             tolerance);
+  const auto perturbed_diff =
+      obs::diff_manifests(a.manifest, perturbed.manifest, tolerance);
+  const bool watchdog_ok = self_diff.clean() && !perturbed_diff.clean();
   const int total_files = kDiskFiles + kTapeFiles;
   const bool all_complete = a.completed == total_files && a.failed == 0;
 
@@ -352,14 +384,25 @@ int main() {
        std::to_string(static_cast<int>(a.stage_retries))},
       {"same-seed runs identical", "yes", deterministic ? "yes" : "NO"},
       {"fault timeline hash", "(seeded)", hash_buf},
+      {"same-seed manifests byte-identical", "yes",
+       a.manifest_json == b.manifest_json ? "yes" : "NO"},
+      {"run-diff a vs b", "no drift",
+       std::to_string(self_diff.drifts.size()) + " drifts over " +
+           std::to_string(self_diff.series_compared) + " series"},
+      {"run-diff a vs perturbed seed", "flagged",
+       perturbed_diff.clean() ? "NOT FLAGGED" : "flagged"},
+      {"flight events recorded", "(hundreds)",
+       std::to_string(a.manifest.events_recorded)},
   };
   bench::print_table(rows);
   bench::write_bench_json("chaos", rows, a.snapshot);
 
-  if (!all_complete || !deterministic) {
-    std::printf("\nCHAOS RUN FAILED: %s%s\n",
+  if (!all_complete || !deterministic || !watchdog_ok) {
+    std::printf("\nCHAOS RUN FAILED: %s%s%s\n",
                 all_complete ? "" : "not every file completed; ",
-                deterministic ? "" : "same-seed runs diverged");
+                deterministic ? "" : "same-seed runs diverged; ",
+                watchdog_ok ? "" : "run-diff watchdog misbehaved");
+    if (!self_diff.clean()) std::fputs(self_diff.render().c_str(), stdout);
     return 1;
   }
   std::printf(

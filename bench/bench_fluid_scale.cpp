@@ -31,6 +31,7 @@
 #include "common/units.hpp"
 #include "net/fluid.hpp"
 #include "net/fluid_reference.hpp"
+#include "obs/manifest.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -200,6 +201,10 @@ int main(int argc, char** argv) {
 
   std::vector<esg::bench::Row> rows;
   es::Simulation sim{7};
+  // The regression gate (tools/bench_gate.cmake) diffs this manifest against
+  // bench/baselines/: only machine-independent numbers go into it (alloc
+  // counts, solver invariants, sim-time metrics) — never wall-clock times.
+  esg::obs::RunManifest manifest;
   bool steady_clean = true;
   double worst_gap = 0.0;
   for (const int n : scales) {
@@ -237,11 +242,28 @@ int main(int argc, char** argv) {
                     fmt(r.reference_allocs, "")});
     rows.push_back({tag + " solver runs during polls", "0",
                     std::to_string(r.steady_solves)});
+
+    manifest.set_bench(tag + " allocs/solve (dense)", r.dense_allocs);
+    manifest.set_bench(tag + " allocs/solve (reference)", r.reference_allocs);
+    manifest.set_bench(tag + " solver runs during polls",
+                       static_cast<double>(r.steady_solves));
+    manifest.set_bench(tag + " max rate gap", r.max_rate_gap);
   }
 
   esg::bench::print_table(rows);
   esg::bench::write_bench_json("fluid_scale", rows,
                                sim.metrics().snapshot(sim.now()));
+
+  {
+    esg::obs::RunManifest captured = esg::obs::capture_manifest(
+        small ? "fluid_scale-small" : "fluid_scale", 7,
+        "mesh: 16 core links + 64 nics per scale", 0, sim.flight_recorder(),
+        sim.metrics().snapshot(sim.now()));
+    captured.bench = manifest.bench;
+    esg::obs::write_file("MANIFEST_fluid_scale.json", captured.to_json());
+    std::printf("\nwrote MANIFEST_fluid_scale.json (digest %016llx)\n",
+                static_cast<unsigned long long>(captured.flight_digest));
+  }
 
   if (!steady_clean) {
     std::printf("FAIL: steady-state poll ticks invoked the solver\n");

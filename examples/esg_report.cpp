@@ -1,0 +1,156 @@
+// esg-report: offline analysis of run manifests (DESIGN.md §9).
+//
+// A RunManifest (written by the benches, or by any code calling
+// obs::capture_manifest) carries the whole identity of a simulated run:
+// seed, topology, fault-plan fingerprint, flight-recorder events, final
+// metrics snapshot and headline bench numbers.  This tool retells that
+// story without re-running anything:
+//
+//   esg-report summary    MANIFEST.json
+//   esg-report postmortem MANIFEST.json [file...]
+//   esg-report slo        MANIFEST.json 'rule' ['rule'...]
+//   esg-report diff       BASELINE.json CURRENT.json [--tolerance F]
+//                         [--ignore SUBSTR]... [--exact]
+//
+// `postmortem` with no file argument reports every failed or degraded
+// transfer.  `slo` rules look like "rm_files_failed_total == 0" or
+// "p99(rm_file_duration_seconds) < 300".  `diff` is the regression
+// watchdog: identity fields compare exactly, metrics and bench values
+// under the tolerance; any drift (or failed SLO) exits nonzero so the
+// bench gate can fail a build.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/slo.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  esg-report summary    MANIFEST.json\n"
+      "  esg-report postmortem MANIFEST.json [file...]\n"
+      "  esg-report slo        MANIFEST.json RULE [RULE...]\n"
+      "  esg-report diff       BASELINE.json CURRENT.json [--tolerance F]\n"
+      "                        [--ignore SUBSTR]... [--exact]\n");
+  return 2;
+}
+
+esg::obs::RunManifest load_or_die(const std::string& path) {
+  auto m = esg::obs::load_manifest(path);
+  if (!m) {
+    std::fprintf(stderr, "esg-report: %s: %s\n", path.c_str(),
+                 m.error().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(*m);
+}
+
+int cmd_summary(const std::string& path) {
+  const auto m = load_or_die(path);
+  std::printf("manifest   %s\n", m.name.c_str());
+  std::printf("seed       %llu\n", static_cast<unsigned long long>(m.seed));
+  std::printf("topology   %s\n", m.topology.c_str());
+  std::printf("faults     timeline_hash=%016llx\n",
+              static_cast<unsigned long long>(m.fault_timeline_hash));
+  std::printf("flight     digest=%016llx recorded=%llu evicted=%llu\n",
+              static_cast<unsigned long long>(m.flight_digest),
+              static_cast<unsigned long long>(m.events_recorded),
+              static_cast<unsigned long long>(m.events_evicted));
+  std::printf("metrics    %zu series\n", m.metrics.entries.size());
+  for (const auto& b : m.bench) {
+    std::printf("bench      %s = %g\n", b.name.c_str(), b.value);
+  }
+  const auto degraded = esg::obs::degraded_files(m.events);
+  std::printf("transfers  %zu tracked, %zu failed/degraded\n",
+              esg::obs::postmortem_files(m.events).size(), degraded.size());
+  for (const auto& f : degraded) std::printf("  degraded: %s\n", f.c_str());
+  return 0;
+}
+
+int cmd_postmortem(const std::string& path, std::vector<std::string> files) {
+  const auto m = load_or_die(path);
+  if (files.empty()) files = esg::obs::degraded_files(m.events);
+  if (files.empty()) {
+    std::printf("no failed or degraded transfers in %s\n", path.c_str());
+    return 0;
+  }
+  for (const auto& f : files) {
+    const auto pm = esg::obs::build_postmortem(m, f);
+    std::fputs(pm.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}
+
+int cmd_slo(const std::string& path, const std::vector<std::string>& exprs) {
+  const auto m = load_or_die(path);
+  std::vector<esg::obs::SloRule> rules;
+  for (const auto& e : exprs) {
+    auto rule = esg::obs::parse_slo_rule(e);
+    if (!rule) {
+      std::fprintf(stderr, "esg-report: bad rule '%s': %s\n", e.c_str(),
+                   rule.error().to_string().c_str());
+      return 2;
+    }
+    rules.push_back(std::move(*rule));
+  }
+  const auto report = esg::obs::evaluate_slos(rules, m.metrics);
+  std::fputs(report.render().c_str(), stdout);
+  return report.all_pass ? 0 : 1;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::string baseline_path, current_path;
+  esg::obs::DriftTolerance tolerance;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--tolerance" && i + 1 < args.size()) {
+      tolerance.relative = std::atof(args[++i].c_str());
+    } else if (a == "--ignore" && i + 1 < args.size()) {
+      tolerance.ignore.push_back(args[++i]);
+    } else if (a == "--exact") {
+      tolerance.relative = 0.0;
+      tolerance.absolute = 0.0;
+    } else if (baseline_path.empty()) {
+      baseline_path = a;
+    } else if (current_path.empty()) {
+      current_path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage();
+  const auto baseline = load_or_die(baseline_path);
+  const auto current = load_or_die(current_path);
+  const auto report = esg::obs::diff_manifests(baseline, current, tolerance);
+  std::fputs(report.render().c_str(), stdout);
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (cmd == "summary" && rest.size() == 1) return cmd_summary(rest[0]);
+  if (cmd == "postmortem") {
+    const std::string path = rest.front();
+    rest.erase(rest.begin());
+    return cmd_postmortem(path, std::move(rest));
+  }
+  if (cmd == "slo" && rest.size() >= 2) {
+    const std::string path = rest.front();
+    rest.erase(rest.begin());
+    return cmd_slo(path, rest);
+  }
+  if (cmd == "diff") return cmd_diff(rest);
+  return usage();
+}

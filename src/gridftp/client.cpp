@@ -97,6 +97,10 @@ struct GridFtpClient::Op : TransferHandle,
           landed ? storage::file_checksum(*landed) : ~expected_checksum;
       if (actual != expected_checksum) {
         sim().metrics().counter("gridftp_checksum_failures_total").add();
+        sim().flight_recorder().record(
+            "gridftp", "checksum.mismatch", local_name,
+            {{"host", src_host != nullptr ? src_host->name() : std::string()}},
+            options.obs_track);
         span.set_attr("checksum", "mismatch");
         return fail(Error{Errc::io_error,
                           "checksum mismatch on " + local_name});

@@ -72,6 +72,12 @@ void ReliableGet::attempt() {
       {{"replica", current_replica().host},
        {"attempt", std::to_string(result_.attempts)},
        {"restart_offset", std::to_string(offset_)}});
+  client_.simulation().flight_recorder().record(
+      "gridftp", "attempt.begin", local_name_,
+      {{"host", current_replica().host},
+       {"attempt", std::to_string(result_.attempts)},
+       {"restart_offset", std::to_string(offset_)}},
+      options_.obs_track);
 
   auto self = shared_from_this();
   handle_ = client_.get(
@@ -125,6 +131,11 @@ void ReliableGet::schedule_retry() {
       .metrics()
       .histogram("gridftp_retry_backoff_seconds", obs::duration_boundaries())
       .observe(common::to_seconds(delay));
+  client_.simulation().flight_recorder().record(
+      "gridftp", "retry.scheduled", local_name_,
+      {{"after_attempt", std::to_string(result_.attempts)},
+       {"backoff_s", std::to_string(common::to_seconds(delay))}},
+      options_.obs_track);
   auto self = shared_from_this();
   client_.simulation().schedule_after(delay, [self] { self->attempt(); });
 }
@@ -148,6 +159,11 @@ void ReliableGet::arm_attempt_timer() {
             .metrics()
             .counter("gridftp_attempt_timeouts_total")
             .add();
+        self->client_.simulation().flight_recorder().record(
+            "gridftp", "attempt.timeout", self->local_name_,
+            {{"host", self->current_replica().host},
+             {"attempt", std::to_string(self->result_.attempts)}},
+            self->options_.obs_track);
         self->handle_->abort();
         self->report_outcome(false);
         self->rotate_replica();
@@ -174,6 +190,11 @@ void ReliableGet::arm_rate_monitor() {
           // from the restart marker immediately (no backoff — the replica
           // is alive, just underperforming; paper §7 semantics).  Slowness
           // still counts against the replica's health.
+          self->client_.simulation().flight_recorder().record(
+              "gridftp", "slow_replica", self->local_name_,
+              {{"host", self->current_replica().host},
+               {"achieved_Bps", std::to_string(achieved)}},
+              self->options_.obs_track);
           self->handle_->abort();
           self->report_outcome(false);
           self->rotate_replica();
@@ -205,6 +226,9 @@ void ReliableGet::attempt_finished(TransferResult r) {
         .metrics()
         .counter("gridftp_corruption_refetches_total")
         .add();
+    client_.simulation().flight_recorder().record(
+        "gridftp", "corruption.refetch", local_name_,
+        {{"host", current_replica().host}}, options_.obs_track);
   }
   // Failed attempt: advance to the next replica (round-robin) and retry
   // from the marker after an exponential backoff.  The client has already

@@ -116,6 +116,9 @@ GridFtpServer::~GridFtpServer() { orb_.unregister_service(host_, "gridftp"); }
 void GridFtpServer::crash() {
   if (crashed_) return;
   crashed_ = true;
+  orb_.network().simulation().flight_recorder().record("gridftp",
+                                                       "server.crash",
+                                                       host_.name());
   // Process state dies with the process: sessions must be re-established
   // and unresolved RETR/STOR tickets are gone (clients holding one see the
   // transfer fail as "ticket lost").
@@ -130,6 +133,9 @@ void GridFtpServer::crash() {
 void GridFtpServer::restart() {
   if (!crashed_) return;
   crashed_ = false;
+  orb_.network().simulation().flight_recorder().record("gridftp",
+                                                       "server.restart",
+                                                       host_.name());
   orb_.network().apply_outage(host_.name(), false);
   orb_.set_service_down(host_, "gridftp", false);
 }

@@ -13,6 +13,10 @@ StripedTransfer::StripedTransfer(GridFtpClient& client,
   result_.stripes.resize(stripes_.size());
   outstanding_ = stripes_.size();
   handles_.reserve(stripes_.size());
+  client_.simulation().flight_recorder().record(
+      "gridftp", "striped.begin",
+      stripes_.empty() ? std::string() : stripes_.front().dest_path,
+      {{"stripes", std::to_string(stripes_.size())}});
   for (std::size_t i = 0; i < stripes_.size(); ++i) {
     const auto& s = stripes_[i];
     auto handle = client_.third_party_copy(
@@ -54,6 +58,11 @@ void StripedTransfer::stripe_done(std::size_t index, TransferResult result) {
   if (failed && result_.status.ok()) {
     result_.status = result.status;
   }
+  client_.simulation().flight_recorder().record(
+      "gridftp", failed ? "stripe.failed" : "stripe.done",
+      stripes_[index].dest_path,
+      {{"stripe", std::to_string(index)},
+       {"bytes", std::to_string(result.bytes_transferred)}});
   result_.stripes[index] = std::move(result);
   --outstanding_;
   if (failed) {

@@ -43,6 +43,9 @@ HrmService::~HrmService() { orb_.unregister_service(host_, "hrm"); }
 void HrmService::crash() {
   if (crashed_) return;
   crashed_ = true;
+  orb_.network().simulation().flight_recorder().record(
+      "hrm", "crash", host_.name(),
+      {{"stages_lost", std::to_string(staging_.size())}});
   orb_.set_service_down(host_, "hrm", true);
   // The stage queue lived in process memory: every caller waiting on a
   // STAGE loses its request.  Tape reads already dispatched to drives
@@ -60,6 +63,8 @@ void HrmService::crash() {
 void HrmService::restart() {
   if (!crashed_) return;
   crashed_ = false;
+  orb_.network().simulation().flight_recorder().record("hrm", "restart",
+                                                       host_.name());
   orb_.set_service_down(host_, "hrm", false);
 }
 
@@ -91,6 +96,8 @@ void HrmService::stage(const std::string& name,
     return;
   }
   staging_[name].push_back(std::move(timed));
+  orb_.network().simulation().flight_recorder().record(
+      "hrm", "stage.dispatched", name, {{"host", host_.name()}});
   tape_->stage(name, [this, name](Result<storage::FileObject> staged) {
     finish_stage(name, std::move(staged));
   });
@@ -102,6 +109,9 @@ void HrmService::finish_stage(const std::string& name,
   auto waiters = std::move(staging_[name]);
   staging_.erase(name);
   tape_depth_->set(static_cast<double>(tape_->queue_depth()));
+  orb_.network().simulation().flight_recorder().record(
+      "hrm", staged ? "stage.complete" : "stage.failed", name,
+      {{"host", host_.name()}});
   if (!staged) {
     for (auto& w : waiters) w(staged.error());
     return;

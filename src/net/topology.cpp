@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
 #include <queue>
 #include <set>
@@ -190,6 +191,8 @@ SimDuration Network::rtt(const Host& a, const Host& b) const {
 void Network::set_host_down(Host& host, bool down) {
   host.down_ = down;
   fluid_.set_down(host.nic_, down);
+  sim_.flight_recorder().record("net", down ? "host.down" : "host.up",
+                                host.name());
 }
 
 void Network::set_link_down(Link& link, bool down) {
@@ -197,21 +200,33 @@ void Network::set_link_down(Link& link, bool down) {
     fluid_.set_down(link.forward_, down);
     fluid_.set_down(link.backward_, down);
   });
+  sim_.flight_recorder().record("net", down ? "link.down" : "link.up",
+                                link.name());
 }
 
 void Network::set_link_brownout(Link& link, double fraction) {
-  const Rate capacity =
-      link.nominal_capacity_ * std::clamp(fraction, 0.0, 1.0);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const Rate capacity = link.nominal_capacity_ * fraction;
   fluid_.batch([&] {
     fluid_.set_capacity(link.forward_, capacity);
     fluid_.set_capacity(link.backward_, capacity);
   });
+  char frac[32];
+  std::snprintf(frac, sizeof frac, "%g", fraction);
+  sim_.flight_recorder().record(
+      "net", fraction < 1.0 ? "link.brownout" : "link.restored", link.name(),
+      {{"fraction", frac}});
 }
 
 void Network::set_link_loss(Link& link, double loss) {
   link.loss_ = std::clamp(loss, 0.0, 1.0);
   // Routes cache the folded end-to-end loss; recompute lazily.
   route_cache_.clear();
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%g", link.loss_);
+  sim_.flight_recorder().record(
+      "net", link.loss_ > 0.0 ? "link.loss" : "link.loss_cleared", link.name(),
+      {{"loss", rate}});
 }
 
 void Network::apply_outage(const std::string& target, bool down) {

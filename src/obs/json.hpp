@@ -1,0 +1,78 @@
+// Minimal JSON value model + recursive-descent parser.
+//
+// The observability layer *writes* JSON in several places (metrics
+// snapshots, Chrome traces, BENCH_*.json, run manifests); the analysis side
+// — manifest diffing, bench gating, offline postmortems — has to *read* it
+// back.  This is a deliberately small, dependency-free reader covering the
+// JSON subset our own exporters emit: objects, arrays, strings with the
+// escapes json_escape() produces, doubles, bools, null.  Object keys keep
+// insertion order (our writers emit deterministically sorted documents, and
+// keeping their order makes re-serialization byte-stable).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace esg::obs::json {
+
+class Value;
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::boolean), bool_(b) {}
+  explicit Value(double d) : type_(Type::number), number_(d) {}
+  explicit Value(std::string s) : type_(Type::string), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::array), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::object), object_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_number() const { return type_ == Type::number; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_object() const { return type_ == Type::object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const {
+    static const Array empty;
+    return array_ ? *array_ : empty;
+  }
+  const Object& as_object() const {
+    static const Object empty;
+    return object_ ? *object_ : empty;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Member's number/string with a fallback — the common access pattern.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+ private:
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+common::Result<Value> parse(std::string_view text);
+
+}  // namespace esg::obs::json

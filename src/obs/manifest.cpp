@@ -1,0 +1,214 @@
+#include "obs/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace esg::obs {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::string fmt_double(double v) {
+  // Matches the exporters' fixed format so manifests stay diff-friendly.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+FlightEvent event_from_json(const json::Value& v) {
+  FlightEvent e;
+  e.seq = static_cast<std::uint64_t>(v.number_or("seq", 0));
+  e.at = static_cast<common::SimTime>(v.number_or("at_ns", 0));
+  e.track = static_cast<TrackId>(v.number_or("track", 0));
+  e.category = v.string_or("category", "");
+  e.name = v.string_or("name", "");
+  e.target = v.string_or("target", "");
+  if (const json::Value* attrs = v.find("attrs"); attrs != nullptr) {
+    for (const auto& [k, av] : attrs->as_object()) {
+      if (av.is_string()) e.attrs.emplace_back(k, av.as_string());
+    }
+  }
+  return e;
+}
+
+MetricsSnapshot snapshot_from_json(const json::Value& v) {
+  MetricsSnapshot snap;
+  snap.at = static_cast<common::SimTime>(v.number_or("sim_time_ns", 0));
+  if (const json::Value* metrics = v.find("metrics"); metrics != nullptr) {
+    for (const auto& mv : metrics->as_array()) {
+      SnapshotEntry e;
+      e.name = mv.string_or("name", "");
+      const std::string kind = mv.string_or("kind", "counter");
+      e.kind = kind == "gauge"       ? MetricKind::gauge
+               : kind == "histogram" ? MetricKind::histogram
+                                     : MetricKind::counter;
+      if (const json::Value* labels = mv.find("labels"); labels != nullptr) {
+        for (const auto& [k, lv] : labels->as_object()) {
+          if (lv.is_string()) e.labels.emplace_back(k, lv.as_string());
+        }
+      }
+      if (e.kind == MetricKind::histogram) {
+        if (const json::Value* b = mv.find("boundaries"); b != nullptr) {
+          for (const auto& bv : b->as_array()) {
+            e.boundaries.push_back(bv.as_number());
+          }
+        }
+        if (const json::Value* b = mv.find("buckets"); b != nullptr) {
+          for (const auto& bv : b->as_array()) {
+            e.buckets.push_back(static_cast<std::uint64_t>(bv.as_number()));
+          }
+        }
+        e.count = static_cast<std::uint64_t>(mv.number_or("count", 0));
+        e.sum = mv.number_or("sum", 0);
+      } else {
+        e.value = mv.number_or("value", 0);
+      }
+      snap.entries.push_back(std::move(e));
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
+void RunManifest::set_bench(std::string bench_name, double value) {
+  for (auto& b : bench) {
+    if (b.name == bench_name) {
+      b.value = value;
+      return;
+    }
+  }
+  bench.push_back({std::move(bench_name), value});
+}
+
+double RunManifest::bench_or(std::string_view bench_name,
+                             double fallback) const {
+  for (const auto& b : bench) {
+    if (b.name == bench_name) return b.value;
+  }
+  return fallback;
+}
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  out += "\"manifest\":\"" + json_escape(name) + "\",\n";
+  out += "\"seed\":" + std::to_string(seed) + ",\n";
+  out += "\"topology\":\"" + json_escape(topology) + "\",\n";
+  out += "\"fault_timeline_hash\":\"" + hex64(fault_timeline_hash) + "\",\n";
+  out += "\"flight_digest\":\"" + hex64(flight_digest) + "\",\n";
+  out += "\"events_recorded\":" + std::to_string(events_recorded) + ",\n";
+  out += "\"events_evicted\":" + std::to_string(events_evicted) + ",\n";
+  out += "\"bench\":[";
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += "{\"name\":\"" + json_escape(bench[i].name) +
+           "\",\"value\":" + fmt_double(bench[i].value) + "}";
+  }
+  out += "\n],\n\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += obs::to_json(events[i]);
+  }
+  out += "\n],\n\"metrics\":" + obs::to_json(metrics) + "\n}\n";
+  return out;
+}
+
+Result<RunManifest> RunManifest::from_json(std::string_view text) {
+  auto parsed = json::parse(text);
+  if (!parsed) return parsed.error();
+  const json::Value& v = *parsed;
+  if (!v.is_object() || v.find("manifest") == nullptr) {
+    return Error{Errc::protocol_error, "not a run manifest (no \"manifest\")"};
+  }
+  RunManifest m;
+  m.name = v.string_or("manifest", "");
+  m.seed = static_cast<std::uint64_t>(v.number_or("seed", 0));
+  m.topology = v.string_or("topology", "");
+  m.fault_timeline_hash = parse_hex64(v.string_or("fault_timeline_hash", "0"));
+  m.flight_digest = parse_hex64(v.string_or("flight_digest", "0"));
+  m.events_recorded =
+      static_cast<std::uint64_t>(v.number_or("events_recorded", 0));
+  m.events_evicted =
+      static_cast<std::uint64_t>(v.number_or("events_evicted", 0));
+  if (const json::Value* bench = v.find("bench"); bench != nullptr) {
+    for (const auto& bv : bench->as_array()) {
+      m.bench.push_back(
+          {bv.string_or("name", ""), bv.number_or("value", 0)});
+    }
+  }
+  if (const json::Value* events = v.find("events"); events != nullptr) {
+    for (const auto& ev : events->as_array()) {
+      m.events.push_back(event_from_json(ev));
+    }
+  }
+  if (const json::Value* metrics = v.find("metrics"); metrics != nullptr) {
+    m.metrics = snapshot_from_json(*metrics);
+  }
+  return m;
+}
+
+RunManifest capture_manifest(std::string name, std::uint64_t seed,
+                             std::string topology,
+                             std::uint64_t timeline_hash,
+                             const FlightRecorder& recorder,
+                             MetricsSnapshot snapshot) {
+  RunManifest m;
+  m.name = std::move(name);
+  m.seed = seed;
+  m.topology = std::move(topology);
+  m.fault_timeline_hash = timeline_hash;
+  m.flight_digest = recorder.digest();
+  m.events_recorded = recorder.recorded();
+  m.events_evicted = recorder.evicted();
+  m.events.assign(recorder.events().begin(), recorder.events().end());
+  m.metrics = std::move(snapshot);
+  return m;
+}
+
+Result<RunManifest> load_manifest(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return text.error();
+  return RunManifest::from_json(*text);
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return n == text.size();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error{Errc::not_found, "cannot open " + path};
+  }
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace esg::obs

@@ -1,0 +1,67 @@
+// Run manifest: one JSON document that pins down *everything* a run was.
+//
+// The paper's evaluation (Table 1, Figure 8) is storytelling over
+// monitoring data; to retell the story mechanically we need the run's
+// identity in one artifact: the seed, the topology it ran against, the
+// fault plan fingerprint, the flight-recorder digest and retained events,
+// the final metrics snapshot, and the headline bench numbers.  Two
+// same-seed runs must serialize to byte-identical manifests — that is the
+// contract the run-diff tool and the bench gate are built on.
+//
+// Manifests round-trip: from_json() re-hydrates everything (including the
+// metrics snapshot), so postmortems and SLO evaluation work offline on a
+// MANIFEST_*.json file long after the simulation is gone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace esg::obs {
+
+struct BenchValue {
+  std::string name;
+  double value = 0.0;
+};
+
+struct RunManifest {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::string topology;  // free-form summary (sites/links/hosts)
+  std::uint64_t fault_timeline_hash = 0;
+  std::uint64_t flight_digest = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_evicted = 0;
+  std::vector<FlightEvent> events;  // the retained ring, oldest first
+  MetricsSnapshot metrics;
+  std::vector<BenchValue> bench;  // headline numbers (goodput, counts, ...)
+
+  void set_bench(std::string bench_name, double value);
+  double bench_or(std::string_view bench_name, double fallback) const;
+
+  /// Deterministic serialization: same run state ⇒ identical bytes.
+  std::string to_json() const;
+  static common::Result<RunManifest> from_json(std::string_view text);
+};
+
+/// Capture a manifest from a live recorder + snapshot.  `timeline_hash` is
+/// the FaultInjector's (0 when the run had no chaos engine).
+RunManifest capture_manifest(std::string name, std::uint64_t seed,
+                             std::string topology,
+                             std::uint64_t timeline_hash,
+                             const FlightRecorder& recorder,
+                             MetricsSnapshot snapshot);
+
+/// Convenience: read + parse a manifest file.
+common::Result<RunManifest> load_manifest(const std::string& path);
+
+/// Write `text` to `path`; false on I/O failure.
+bool write_file(const std::string& path, const std::string& text);
+/// Read a whole file.
+common::Result<std::string> read_file(const std::string& path);
+
+}  // namespace esg::obs

@@ -32,6 +32,32 @@ void Histogram::observe(double v) {
   }
 }
 
+double histogram_quantile(const std::vector<double>& boundaries,
+                          const std::vector<std::uint64_t>& buckets,
+                          double p) {
+  std::uint64_t count = 0;
+  for (const std::uint64_t b : buckets) count += b;
+  if (count == 0 || buckets.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < boundaries.size() && i < buckets.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(buckets[i]);
+    if (cumulative >= rank && buckets[i] > 0) {
+      const double upper = boundaries[i];
+      // Positive-valued histograms (durations, rates) start at zero; a
+      // first boundary at or below zero leaves nothing to interpolate over.
+      const double lower =
+          i > 0 ? boundaries[i - 1] : (upper > 0.0 ? 0.0 : upper);
+      return lower +
+             (upper - lower) * (rank - prev) / static_cast<double>(buckets[i]);
+    }
+  }
+  // Rank lands in the overflow bucket: clamp to the largest finite edge.
+  return boundaries.empty() ? 0.0 : boundaries.back();
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(boundaries_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -95,8 +121,10 @@ MetricsSnapshot MetricsRegistry::snapshot(common::SimTime at) const {
   std::scoped_lock lock(mu_);
   snap.entries.reserve(counters_.size() + gauges_.size() +
                        histograms_.size());
-  // std::map iteration gives (name, labels) order within each kind; a final
-  // stable sort interleaves the kinds deterministically.
+  // std::map iteration gives (name, labels) order within each kind; the
+  // final sort's (name, labels, kind) key is a total order over series, so
+  // exporter output — and every digest built on it — is byte-stable no
+  // matter how registration interleaved.
   for (const auto& [key, c] : counters_) {
     SnapshotEntry e;
     e.kind = MetricKind::counter;
@@ -124,11 +152,12 @@ MetricsSnapshot MetricsRegistry::snapshot(common::SimTime at) const {
     e.sum = h->sum();
     snap.entries.push_back(std::move(e));
   }
-  std::stable_sort(snap.entries.begin(), snap.entries.end(),
-                   [](const SnapshotEntry& a, const SnapshotEntry& b) {
-                     if (a.name != b.name) return a.name < b.name;
-                     return a.labels < b.labels;
-                   });
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.labels != b.labels) return a.labels < b.labels;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
   return snap;
 }
 

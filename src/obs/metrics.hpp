@@ -68,6 +68,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Quantile estimate over fixed-boundary histogram data: locates the bucket
+/// holding rank p*count and interpolates linearly inside it (Prometheus
+/// `histogram_quantile` semantics).  The first bucket's lower edge is 0 for
+/// positive boundaries; ranks landing in the overflow bucket clamp to the
+/// last boundary.  An empty histogram yields 0.
+double histogram_quantile(const std::vector<double>& boundaries,
+                          const std::vector<std::uint64_t>& buckets,
+                          double p);
+
 /// Fixed upper boundaries (ascending); bucket i counts observations
 /// <= boundaries[i], with one overflow bucket past the last boundary.
 class Histogram {
@@ -81,6 +90,10 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Per-bucket counts, size boundaries().size() + 1 (last = overflow).
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Estimated p-quantile (see histogram_quantile below).
+  double quantile(double p) const {
+    return histogram_quantile(boundaries_, bucket_counts(), p);
+  }
 
  private:
   std::vector<double> boundaries_;
@@ -102,6 +115,11 @@ struct SnapshotEntry {
   std::vector<std::uint64_t> buckets;
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Quantile estimate for a histogram entry (0 for other kinds).
+  double quantile(double p) const {
+    return histogram_quantile(boundaries, buckets, p);
+  }
 };
 
 struct MetricsSnapshot {

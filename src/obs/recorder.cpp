@@ -1,0 +1,100 @@
+#include "obs/recorder.hpp"
+
+#include "common/bytebuf.hpp"
+#include "obs/export.hpp"
+
+namespace esg::obs {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+}  // namespace
+
+std::string_view FlightEvent::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+FlightRecorder::FlightRecorder(std::function<common::SimTime()> clock,
+                               std::size_t capacity)
+    : clock_(std::move(clock)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      digest_(kFnvOffset) {}
+
+void FlightRecorder::record(
+    std::string category, std::string name, std::string target,
+    std::vector<std::pair<std::string, std::string>> attrs, TrackId track) {
+  FlightEvent e;
+  e.seq = next_seq_++;
+  e.at = clock_();
+  e.track = track;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.target = std::move(target);
+  e.attrs = std::move(attrs);
+
+  digest_ = common::fnv1a64(&e.seq, sizeof(e.seq), digest_);
+  digest_ = common::fnv1a64(&e.at, sizeof(e.at), digest_);
+  digest_ = common::fnv1a64(&e.track, sizeof(e.track), digest_);
+  digest_ = common::fnv1a64(e.category.data(), e.category.size(), digest_);
+  digest_ = common::fnv1a64(e.name.data(), e.name.size(), digest_);
+  digest_ = common::fnv1a64(e.target.data(), e.target.size(), digest_);
+  for (const auto& [k, v] : e.attrs) {
+    digest_ = common::fnv1a64(k.data(), k.size(), digest_);
+    digest_ = common::fnv1a64(v.data(), v.size(), digest_);
+  }
+
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+  ring_.push_back(std::move(e));
+}
+
+std::vector<const FlightEvent*> FlightRecorder::for_target(
+    std::string_view target) const {
+  std::vector<const FlightEvent*> out;
+  for (const auto& e : ring_) {
+    if (e.target == target) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const FlightEvent*> FlightRecorder::for_track(
+    TrackId track) const {
+  std::vector<const FlightEvent*> out;
+  if (track == 0) return out;
+  for (const auto& e : ring_) {
+    if (e.track == track) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const FlightEvent*> FlightRecorder::in_window(
+    common::SimTime from, common::SimTime to) const {
+  std::vector<const FlightEvent*> out;
+  for (const auto& e : ring_) {
+    if (e.at >= from && e.at <= to) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string to_json(const FlightEvent& e) {
+  std::string out = "{\"seq\":" + std::to_string(e.seq) +
+                    ",\"at_ns\":" + std::to_string(e.at) +
+                    ",\"track\":" + std::to_string(e.track) + ",\"category\":\"" +
+                    json_escape(e.category) + "\",\"name\":\"" +
+                    json_escape(e.name) + "\",\"target\":\"" +
+                    json_escape(e.target) + "\",\"attrs\":{";
+  bool first = true;
+  for (const auto& [k, v] : e.attrs) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace esg::obs

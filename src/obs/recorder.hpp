@@ -1,0 +1,96 @@
+// Flight recorder: a bounded, deterministic ring of structured events.
+//
+// The metrics registry answers "how much" and the tracer answers "how long",
+// but neither answers "what happened, in order" — the question every
+// postmortem starts with.  The FlightRecorder captures the discrete state
+// transitions of a run (transfer lifecycle, breaker trips, fault
+// injections, replica re-ranks, HRM stage events, link degradations) as a
+// single time-ordered event stream shared by every component hanging off
+// one Simulation.
+//
+// Two properties make it a *flight* recorder rather than a log:
+//
+//   * Bounded: the ring holds the most recent `capacity` events; overflow
+//     evicts the oldest (counted, never silent).  Instrumented code never
+//     checks capacity.
+//   * Deterministic: events carry simulated time and a per-recorder
+//     sequence number, and `digest()` folds every event ever recorded
+//     (including evicted ones) into a running FNV-1a fingerprint — two
+//     same-seed chaos runs must produce byte-identical digests, which is
+//     what makes "replay the seed and diff" a debugging workflow.
+//
+// Events deliberately mirror the tracer's attribute style (small string
+// key/value pairs) and carry the emitting worker's TrackId when known, so a
+// postmortem can join the event stream against the span tree.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/trace.hpp"
+
+namespace esg::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;       // monotonically increasing, never reused
+  common::SimTime at = 0;
+  TrackId track = 0;           // joins against tracer spans; 0 = none
+  std::string category;        // "rm", "gridftp", "hrm", "chaos", "net", ...
+  std::string name;            // "breaker.open", "fault.brownout.begin", ...
+  std::string target;          // file / host / link the event is about
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// Value of an attribute, or "" when absent.
+  std::string_view attr(std::string_view key) const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::function<common::SimTime()> clock,
+                          std::size_t capacity = 1 << 15);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(std::string category, std::string name, std::string target,
+              std::vector<std::pair<std::string, std::string>> attrs = {},
+              TrackId track = 0);
+
+  /// Retained events, oldest first.
+  const std::deque<FlightEvent>& events() const { return ring_; }
+  /// Every event ever recorded (retained + evicted).
+  std::uint64_t recorded() const { return next_seq_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Running FNV-1a fingerprint over every event recorded so far (sequence,
+  /// time, track, category, name, target, attrs).  Same-seed runs agree.
+  std::uint64_t digest() const { return digest_; }
+
+  /// Events touching `target` (exact match), oldest first.
+  std::vector<const FlightEvent*> for_target(std::string_view target) const;
+  /// Events on a tracer track, oldest first.
+  std::vector<const FlightEvent*> for_track(TrackId track) const;
+  /// Events with `at` in [from, to], oldest first.
+  std::vector<const FlightEvent*> in_window(common::SimTime from,
+                                            common::SimTime to) const;
+
+ private:
+  std::function<common::SimTime()> clock_;
+  std::size_t capacity_;
+  std::deque<FlightEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t digest_;
+};
+
+/// One event as a deterministic JSON object (shared by RunManifest and the
+/// esg-report timeline rendering).
+std::string to_json(const FlightEvent& event);
+
+}  // namespace esg::obs

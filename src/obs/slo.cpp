@@ -1,0 +1,386 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace esg::obs {
+
+using common::Errc;
+using common::Error;
+using common::Result;
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + v;
+  }
+  return out + "}";
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool compare(double observed, SloCmp cmp, double threshold) {
+  switch (cmp) {
+    case SloCmp::lt: return observed < threshold;
+    case SloCmp::le: return observed <= threshold;
+    case SloCmp::gt: return observed > threshold;
+    case SloCmp::ge: return observed >= threshold;
+    case SloCmp::eq: return observed == threshold;
+    case SloCmp::ne: return observed != threshold;
+  }
+  return false;
+}
+
+double relative_drift(double a, double b, double absolute) {
+  const double diff = std::fabs(a - b);
+  if (diff <= absolute) return 0.0;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return scale > 0.0 ? diff / scale : 0.0;
+}
+
+bool ignored(const std::string& name, const DriftTolerance& tolerance) {
+  for (const auto& sub : tolerance.ignore) {
+    if (name.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void compare_value(const std::string& key, double baseline, double current,
+                   const DriftTolerance& tolerance, DriftReport& report) {
+  ++report.series_compared;
+  const double rel = relative_drift(baseline, current, tolerance.absolute);
+  if (rel > tolerance.relative) {
+    report.drifts.push_back({key, baseline, current, rel, ""});
+  }
+}
+
+void compare_exact(const std::string& field, double baseline, double current,
+                   DriftReport& report) {
+  ++report.series_compared;
+  if (baseline != current) {
+    report.drifts.push_back(
+        {field, baseline, current, 1.0, "identity field differs"});
+  }
+}
+
+}  // namespace
+
+const char* slo_cmp_name(SloCmp cmp) {
+  switch (cmp) {
+    case SloCmp::lt: return "<";
+    case SloCmp::le: return "<=";
+    case SloCmp::gt: return ">";
+    case SloCmp::ge: return ">=";
+    case SloCmp::eq: return "==";
+    case SloCmp::ne: return "!=";
+  }
+  return "?";
+}
+
+Result<SloRule> parse_slo_rule(std::string_view text) {
+  SloRule rule;
+  rule.expr = std::string(trim(text));
+  std::string_view rest = trim(text);
+
+  // Comparison operator: first of < <= > >= == != outside the metric part.
+  // Label selectors carry '=' inside {...}, so the scan skips braced spans.
+  std::size_t op_pos = std::string_view::npos;
+  int depth = 0;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (c == '{') ++depth;
+    if (c == '}' && depth > 0) --depth;
+    if (depth > 0) continue;
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      op_pos = i;
+      break;
+    }
+  }
+  if (op_pos == std::string_view::npos) {
+    return Error{Errc::invalid_argument,
+                 "slo rule has no comparison: " + rule.expr};
+  }
+  std::string_view metric_part = trim(rest.substr(0, op_pos));
+  std::string_view op_part = rest.substr(op_pos);
+  if (op_part.size() >= 2 && op_part[1] == '=') {
+    switch (op_part[0]) {
+      case '<': rule.cmp = SloCmp::le; break;
+      case '>': rule.cmp = SloCmp::ge; break;
+      case '=': rule.cmp = SloCmp::eq; break;
+      case '!': rule.cmp = SloCmp::ne; break;
+    }
+    op_part.remove_prefix(2);
+  } else if (op_part[0] == '<') {
+    rule.cmp = SloCmp::lt;
+    op_part.remove_prefix(1);
+  } else if (op_part[0] == '>') {
+    rule.cmp = SloCmp::gt;
+    op_part.remove_prefix(1);
+  } else {
+    return Error{Errc::invalid_argument,
+                 "bad comparison operator in: " + rule.expr};
+  }
+  const std::string threshold_text{trim(op_part)};
+  char* end = nullptr;
+  rule.threshold = std::strtod(threshold_text.c_str(), &end);
+  if (threshold_text.empty() || end != threshold_text.c_str() + threshold_text.size()) {
+    return Error{Errc::invalid_argument, "bad threshold in: " + rule.expr};
+  }
+
+  // Quantile wrapper: pNN(metric).
+  if (metric_part.size() > 1 && metric_part[0] == 'p' &&
+      metric_part.find('(') != std::string_view::npos &&
+      metric_part.back() == ')') {
+    const std::size_t open = metric_part.find('(');
+    const std::string pct{metric_part.substr(1, open - 1)};
+    char* pend = nullptr;
+    const double percent = std::strtod(pct.c_str(), &pend);
+    if (pend != pct.c_str() + pct.size() || percent < 0 || percent > 100) {
+      return Error{Errc::invalid_argument, "bad quantile in: " + rule.expr};
+    }
+    rule.quantile = percent / 100.0;
+    metric_part =
+        trim(metric_part.substr(open + 1, metric_part.size() - open - 2));
+  }
+
+  // Label selector: metric{k=v,...}.
+  if (const std::size_t brace = metric_part.find('{');
+      brace != std::string_view::npos) {
+    if (metric_part.back() != '}') {
+      return Error{Errc::invalid_argument,
+                   "unterminated label selector in: " + rule.expr};
+    }
+    std::string_view labels =
+        metric_part.substr(brace + 1, metric_part.size() - brace - 2);
+    while (!labels.empty()) {
+      const std::size_t comma = labels.find(',');
+      std::string_view pair = trim(labels.substr(0, comma));
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        return Error{Errc::invalid_argument,
+                     "bad label selector in: " + rule.expr};
+      }
+      rule.labels.emplace_back(std::string(trim(pair.substr(0, eq))),
+                               std::string(trim(pair.substr(eq + 1))));
+      if (comma == std::string_view::npos) break;
+      labels.remove_prefix(comma + 1);
+    }
+    metric_part = trim(metric_part.substr(0, brace));
+  }
+  rule.labels = normalize_labels(std::move(rule.labels));
+  rule.metric = std::string(metric_part);
+  if (rule.metric.empty()) {
+    return Error{Errc::invalid_argument, "empty metric in: " + rule.expr};
+  }
+  return rule;
+}
+
+SloReport evaluate_slos(const std::vector<SloRule>& rules,
+                        const MetricsSnapshot& snapshot) {
+  SloReport report;
+  for (const auto& rule : rules) {
+    SloCheck check;
+    check.rule = rule;
+    if (rule.quantile >= 0.0) {
+      // Histogram quantile; a bare family name merges every series'
+      // buckets (boundaries are uniform within a family by construction).
+      std::vector<double> boundaries;
+      std::vector<std::uint64_t> buckets;
+      for (const auto& e : snapshot.entries) {
+        if (e.kind != MetricKind::histogram || e.name != rule.metric) continue;
+        if (!rule.labels.empty() && e.labels != rule.labels) continue;
+        check.series_found = true;
+        if (boundaries.empty()) {
+          boundaries = e.boundaries;
+          buckets = e.buckets;
+        } else if (boundaries == e.boundaries &&
+                   buckets.size() == e.buckets.size()) {
+          for (std::size_t i = 0; i < buckets.size(); ++i) {
+            buckets[i] += e.buckets[i];
+          }
+        }
+      }
+      check.observed = histogram_quantile(boundaries, buckets, rule.quantile);
+    } else if (rule.labels.empty()) {
+      for (const auto& e : snapshot.entries) {
+        if (e.name == rule.metric && e.kind != MetricKind::histogram) {
+          check.series_found = true;
+          check.observed += e.value;
+        }
+      }
+    } else if (const SnapshotEntry* e =
+                   snapshot.find(rule.metric, rule.labels);
+               e != nullptr) {
+      check.series_found = true;
+      check.observed = e->value;
+    }
+    check.pass = compare(check.observed, rule.cmp, rule.threshold);
+    report.all_pass = report.all_pass && check.pass;
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+std::string SloReport::render() const {
+  std::string out;
+  for (const auto& c : checks) {
+    out += c.pass ? "  PASS  " : "  FAIL  ";
+    out += c.rule.expr + "  (observed " + fmt_double(c.observed);
+    if (!c.series_found) out += ", series absent";
+    out += ")\n";
+  }
+  out += all_pass ? "SLO: all rules pass\n" : "SLO: RULES FAILED\n";
+  return out;
+}
+
+DriftReport diff_snapshots(const MetricsSnapshot& baseline,
+                           const MetricsSnapshot& current,
+                           const DriftTolerance& tolerance) {
+  DriftReport report;
+  // Both snapshots are sorted by (name, labels, kind): a single merge walk
+  // pairs the series and exposes one-sided ones.
+  auto key_less = [](const SnapshotEntry& a, const SnapshotEntry& b) {
+    if (a.name != b.name) return a.name < b.name;
+    if (a.labels != b.labels) return a.labels < b.labels;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  };
+  std::size_t i = 0, j = 0;
+  while (i < baseline.entries.size() || j < current.entries.size()) {
+    const SnapshotEntry* b =
+        i < baseline.entries.size() ? &baseline.entries[i] : nullptr;
+    const SnapshotEntry* c =
+        j < current.entries.size() ? &current.entries[j] : nullptr;
+    if (b != nullptr && c != nullptr && !key_less(*b, *c) &&
+        !key_less(*c, *b)) {
+      ++i;
+      ++j;
+      if (ignored(b->name, tolerance)) continue;
+      const std::string key = series_key(b->name, b->labels);
+      if (b->kind == MetricKind::histogram) {
+        compare_value(key + " count", static_cast<double>(b->count),
+                      static_cast<double>(c->count), tolerance, report);
+        compare_value(key + " sum", b->sum, c->sum, tolerance, report);
+      } else {
+        compare_value(key, b->value, c->value, tolerance, report);
+      }
+      continue;
+    }
+    if (c == nullptr || (b != nullptr && key_less(*b, *c))) {
+      ++i;
+      if (ignored(b->name, tolerance)) continue;
+      ++report.series_compared;
+      report.drifts.push_back({series_key(b->name, b->labels), b->value, 0.0,
+                               1.0, "missing in current"});
+    } else {
+      ++j;
+      if (ignored(c->name, tolerance)) continue;
+      ++report.series_compared;
+      report.drifts.push_back({series_key(c->name, c->labels), 0.0, c->value,
+                               1.0, "missing in baseline"});
+    }
+  }
+  return report;
+}
+
+DriftReport diff_manifests(const RunManifest& baseline,
+                           const RunManifest& current,
+                           const DriftTolerance& tolerance) {
+  DriftReport report = diff_snapshots(baseline.metrics, current.metrics,
+                                      tolerance);
+  compare_exact("seed", static_cast<double>(baseline.seed),
+                static_cast<double>(current.seed), report);
+  compare_exact("events_recorded",
+                static_cast<double>(baseline.events_recorded),
+                static_cast<double>(current.events_recorded), report);
+  // Hashes live outside double range: compare directly, report in hex.
+  auto compare_hash = [&report](const char* field, std::uint64_t b,
+                                std::uint64_t c) {
+    ++report.series_compared;
+    if (b == c) return;
+    char note[80];
+    std::snprintf(note, sizeof note, "%016llx -> %016llx",
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(c));
+    report.drifts.push_back({field, 0.0, 0.0, 1.0, note});
+  };
+  compare_hash("fault_timeline_hash", baseline.fault_timeline_hash,
+               current.fault_timeline_hash);
+  compare_hash("flight_digest", baseline.flight_digest,
+               current.flight_digest);
+  ++report.series_compared;
+  if (baseline.topology != current.topology) {
+    report.drifts.push_back({"topology", 0.0, 0.0, 1.0,
+                             "\"" + baseline.topology + "\" -> \"" +
+                                 current.topology + "\""});
+  }
+  // Bench values under the same tolerance as metrics.
+  auto has = [](const std::vector<BenchValue>& values,
+                const std::string& name) {
+    for (const auto& v : values) {
+      if (v.name == name) return true;
+    }
+    return false;
+  };
+  for (const auto& b : baseline.bench) {
+    if (ignored(b.name, tolerance)) continue;
+    if (!has(current.bench, b.name)) {
+      ++report.series_compared;
+      report.drifts.push_back(
+          {"bench:" + b.name, b.value, 0.0, 1.0, "missing in current"});
+      continue;
+    }
+    compare_value("bench:" + b.name, b.value,
+                  current.bench_or(b.name, 0.0), tolerance, report);
+  }
+  for (const auto& c : current.bench) {
+    if (ignored(c.name, tolerance)) continue;
+    if (!has(baseline.bench, c.name)) {
+      ++report.series_compared;
+      report.drifts.push_back(
+          {"bench:" + c.name, 0.0, c.value, 1.0, "missing in baseline"});
+    }
+  }
+  return report;
+}
+
+std::string DriftReport::render() const {
+  std::string out;
+  for (const auto& d : drifts) {
+    char line[256];
+    std::snprintf(line, sizeof line, "  DRIFT %-48s %14g -> %-14g (%.1f%%)",
+                  d.series.c_str(), d.baseline, d.current,
+                  d.relative * 100.0);
+    out += line;
+    if (!d.note.empty()) out += "  [" + d.note + "]";
+    out += "\n";
+  }
+  out += clean() ? "diff: clean (" + std::to_string(series_compared) +
+                       " series compared)\n"
+                 : "diff: " + std::to_string(drifts.size()) + " drift(s) in " +
+                       std::to_string(series_compared) +
+                       " series compared\n";
+  return out;
+}
+
+}  // namespace esg::obs

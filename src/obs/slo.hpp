@@ -1,0 +1,106 @@
+// SLO rules and the regression watchdog.
+//
+// Dashboards answer questions a human remembers to ask; at production scale
+// the asking has to be mechanical (the Petascale replication postmortem in
+// PAPERS.md makes exactly this point).  Two tools here:
+//
+//   * Declarative SLO rules evaluated against a MetricsSnapshot:
+//       "rm_files_failed_total == 0"
+//       "p99(rm_file_duration_seconds) < 300"
+//       "rm_breaker_open_total{host=lbnl.host} <= 2"
+//     A rule names a metric family (bare name = family total across label
+//     sets, `{k=v,...}` = one series, `pNN(...)` = histogram quantile), a
+//     comparison and a threshold.  evaluate_slos() returns per-rule
+//     verdicts; esg-report exits nonzero when any rule fails.
+//
+//   * A run-diff / bench gate: diff_snapshots() and diff_manifests()
+//     compare two runs series-by-series under a relative tolerance and
+//     report every drift.  Manifest identity fields (seed, fault timeline
+//     hash, flight-recorder digest) are compared exactly — two same-seed
+//     runs must be identical, and the bench gate fails a build whose
+//     numbers moved more than the tolerance vs the committed baseline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace esg::obs {
+
+enum class SloCmp { lt, le, gt, ge, eq, ne };
+
+const char* slo_cmp_name(SloCmp cmp);
+
+struct SloRule {
+  std::string expr;        // original rule text, for reporting
+  std::string metric;      // family name
+  Labels labels;           // empty = sum over the whole family
+  double quantile = -1.0;  // >= 0: evaluate this histogram quantile
+  SloCmp cmp = SloCmp::le;
+  double threshold = 0.0;
+};
+
+/// Parse "name op value", "name{k=v,...} op value" or "pNN(name) op value"
+/// (op one of < <= > >= == !=).  "p99(...)" means quantile 0.99.
+common::Result<SloRule> parse_slo_rule(std::string_view text);
+
+struct SloCheck {
+  SloRule rule;
+  double observed = 0.0;
+  bool series_found = false;
+  bool pass = false;
+};
+
+struct SloReport {
+  std::vector<SloCheck> checks;
+  bool all_pass = true;
+  std::string render() const;
+};
+
+SloReport evaluate_slos(const std::vector<SloRule>& rules,
+                        const MetricsSnapshot& snapshot);
+
+// ---- run diff / regression gate ----
+
+struct DriftTolerance {
+  /// Relative drift above this fraction flags a series (0 = exact).
+  double relative = 0.2;
+  /// Absolute slack applied before the relative test; absorbs noise around
+  /// zero (a counter moving 0 -> 1 is real, 1e-12 -> 0 is not).
+  double absolute = 1e-9;
+  /// Series whose name contains any of these substrings are skipped
+  /// (wall-clock families on a gate that only trusts sim-time numbers).
+  std::vector<std::string> ignore;
+};
+
+struct DriftItem {
+  std::string series;  // "name{k=v,...}" or an identity field
+  double baseline = 0.0;
+  double current = 0.0;
+  double relative = 0.0;  // |current-baseline| / max(|baseline|,|current|)
+  std::string note;       // "missing in current", "exact field differs", ...
+};
+
+struct DriftReport {
+  std::vector<DriftItem> drifts;
+  std::size_t series_compared = 0;
+  bool clean() const { return drifts.empty(); }
+  std::string render() const;
+};
+
+DriftReport diff_snapshots(const MetricsSnapshot& baseline,
+                           const MetricsSnapshot& current,
+                           const DriftTolerance& tolerance);
+
+/// Snapshot diff plus exact comparison of the identity fields (seed,
+/// topology, fault timeline hash, flight digest, event counts) and
+/// tolerance comparison of the bench values.
+DriftReport diff_manifests(const RunManifest& baseline,
+                           const RunManifest& current,
+                           const DriftTolerance& tolerance);
+
+}  // namespace esg::obs

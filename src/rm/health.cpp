@@ -30,6 +30,9 @@ ReplicaHealthRegistry::Entry& ReplicaHealthRegistry::entry(
 void ReplicaHealthRegistry::transition(const std::string& host, Entry& e,
                                        BreakerState to) {
   if (e.state == to) return;
+  sim_.flight_recorder().record(
+      "rm", std::string("breaker.") + breaker_state_name(to), host,
+      {{"from", breaker_state_name(e.state)}});
   e.state = to;
   e.gauge->set(static_cast<double>(to));
   if (to == BreakerState::open) {

@@ -30,14 +30,23 @@ void TransferMonitor::append_log(SimTime now, const std::string& line) {
   }
 }
 
-void TransferMonitor::count_event(const char* event) {
-  if (registry_ == nullptr) return;
-  registry_->counter("monitor_events_total", {{"event", event}}).add();
+void TransferMonitor::count_event(const char* event,
+                                  const std::string& file,
+                                  const std::string& detail) {
+  if (registry_ != nullptr) {
+    registry_->counter("monitor_events_total", {{"event", event}}).add();
+  }
+  if (recorder_ != nullptr) {
+    std::vector<std::pair<std::string, std::string>> attrs;
+    if (!detail.empty()) attrs.emplace_back("detail", detail);
+    recorder_->record("monitor", std::string("monitor.") + event, file,
+                      std::move(attrs));
+  }
 }
 
 void TransferMonitor::file_queued(const std::string& file, Bytes total_size,
                                   SimTime now) {
-  count_event("file_queued");
+  count_event("file_queued", file);
   auto& st = files_[file];
   st.total = total_size;
   st.order = next_order_++;
@@ -48,7 +57,7 @@ void TransferMonitor::file_queued(const std::string& file, Bytes total_size,
 void TransferMonitor::replica_selected(const std::string& file,
                                        const std::string& host,
                                        Rate forecast_bandwidth, SimTime now) {
-  count_event("replica_selected");
+  count_event("replica_selected", file, host);
   auto& st = files_[file];
   st.replica_host = host;
   st.forecast = forecast_bandwidth;
@@ -59,14 +68,14 @@ void TransferMonitor::replica_selected(const std::string& file,
 
 void TransferMonitor::staging_started(const std::string& file,
                                       const std::string& host, SimTime now) {
-  count_event("staging_started");
+  count_event("staging_started", file, host);
   files_[file].phase = FileState::Phase::staging;
   append_log(now, "HRM staging " + file + " from tape at " + host);
 }
 
 void TransferMonitor::transfer_started(const std::string& file,
                                        const std::string& host, SimTime now) {
-  count_event("transfer_started");
+  count_event("transfer_started", file, host);
   files_[file].phase = FileState::Phase::transferring;
   append_log(now, "gridftp transfer of " + file + " from " + host +
                       " started");
@@ -81,14 +90,14 @@ void TransferMonitor::progress(const std::string& file, Bytes current_size,
 void TransferMonitor::replica_switched(const std::string& file,
                                        const std::string& new_host,
                                        SimTime now) {
-  count_event("replica_switched");
+  count_event("replica_switched", file, new_host);
   files_[file].replica_host = new_host;
   append_log(now, "switched " + file + " to alternate replica at " + new_host);
 }
 
 void TransferMonitor::transfer_complete(const std::string& file, Bytes size,
                                         SimTime now) {
-  count_event("transfer_complete");
+  count_event("transfer_complete", file);
   auto& st = files_[file];
   st.phase = FileState::Phase::complete;
   st.current = size;
@@ -98,7 +107,7 @@ void TransferMonitor::transfer_complete(const std::string& file, Bytes size,
 
 void TransferMonitor::transfer_failed(const std::string& file,
                                       const std::string& reason, SimTime now) {
-  count_event("transfer_failed");
+  count_event("transfer_failed", file, reason);
   auto& st = files_[file];
   st.phase = FileState::Phase::failed;
   st.failure = reason;

@@ -68,10 +68,15 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
   sim::Simulation& sim() { return rm().orb_.network().simulation(); }
   TransferMonitor* monitor() { return rm().monitor_; }
 
-  /// End the current step's span and open the next one under rm.file.
+  /// End the current step's span and open the next one under rm.file.  The
+  /// matching flight event is what lets a postmortem tile the file's
+  /// lifetime into phase slices that sum exactly to the rm.file span.
   void next_phase(const char* name) {
     phase.end();
     phase = sim().tracer().span(name, "rm", track);
+    sim().flight_recorder().record("rm", "phase.begin",
+                                   outcome.request.filename,
+                                   {{"phase", name}}, track);
   }
 
   void start() {
@@ -81,6 +86,8 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     span = sim().tracer().span("rm.file", "rm", track);
     span.set_attr("file", outcome.request.filename);
     sim().metrics().counter("rm_files_submitted_total").add();
+    sim().flight_recorder().record("rm", "file.queued",
+                                   outcome.request.filename, {}, track);
     next_phase("rm.lookup");
     outcome.local_name = job->options.local_path_prefix + "/" +
                          outcome.request.filename;
@@ -161,6 +168,9 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                        {{"host", best.location.hostname}})
               .add();
           self->span.set_attr("replica", best.location.hostname);
+          self->sim().flight_recorder().record(
+              "rm", "replica.selected", self->outcome.request.filename,
+              {{"host", best.location.hostname}}, self->track);
           if (self->monitor()) {
             self->monitor()->replica_selected(
                 self->outcome.request.filename, best.location.hostname,
@@ -214,6 +224,11 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
             return self->finish(Status(staged.error()));
           }
           self->sim().metrics().counter("rm_stage_retries_total").add();
+          self->sim().flight_recorder().record(
+              "rm", "stage.retry", self->outcome.request.filename,
+              {{"attempt", std::to_string(self->stage_attempts)},
+               {"error", staged.error().to_string()}},
+              self->track);
           self->sim().schedule_after(
               policy.backoff_after(self->stage_attempts, self->sim().rng()),
               [self] { self->attempt_stage(); });
@@ -282,12 +297,17 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
         self->monitor()->progress(self->outcome.request.filename, size,
                                   self->sim().now());
       }
-      if (self->fetch && self->fetch->active() && self->monitor()) {
+      if (self->fetch && self->fetch->active()) {
         const std::string current = self->fetch->current_replica().host;
         if (current != self->outcome.chosen_host) {
           self->outcome.chosen_host = current;
-          self->monitor()->replica_switched(self->outcome.request.filename,
-                                            current, self->sim().now());
+          self->sim().flight_recorder().record(
+              "rm", "replica.switched", self->outcome.request.filename,
+              {{"host", current}}, self->track);
+          if (self->monitor()) {
+            self->monitor()->replica_switched(self->outcome.request.filename,
+                                              current, self->sim().now());
+          }
         }
       }
       return true;
@@ -304,6 +324,9 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     metrics.counter(outcome.status.ok() ? "rm_files_completed_total"
                                         : "rm_files_failed_total")
         .add();
+    metrics
+        .histogram("rm_file_duration_seconds", obs::duration_boundaries())
+        .observe(common::to_seconds(outcome.finished - outcome.started));
     if (outcome.attempts > 1) {
       metrics.counter("rm_retries_total")
           .add(static_cast<std::uint64_t>(outcome.attempts - 1));
@@ -318,6 +341,16 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                                       : outcome.status.error().to_string());
     span.set_attr("bytes", std::to_string(outcome.bytes));
     span.end();
+    sim().flight_recorder().record(
+        "rm", outcome.status.ok() ? "file.complete" : "file.failed",
+        outcome.request.filename,
+        {{"status", outcome.status.ok()
+                        ? std::string("ok")
+                        : outcome.status.error().to_string()},
+         {"bytes", std::to_string(outcome.bytes)},
+         {"attempts", std::to_string(outcome.attempts)},
+         {"switches", std::to_string(outcome.replica_switches)}},
+        track);
     if (monitor()) {
       if (outcome.status.ok()) {
         monitor()->transfer_complete(outcome.request.filename, outcome.bytes,

@@ -1,12 +1,23 @@
 #include "sim/chaos.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 
 #include "common/bytebuf.hpp"
 
 namespace esg::sim {
+
+namespace {
+
+std::string fmt_magnitude(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
 
 const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
@@ -73,6 +84,7 @@ std::uint64_t FaultInjector::timeline_hash() const {
 
 void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
   auto& metrics = simulation.metrics();
+  auto* recorder = &simulation.flight_recorder();
   auto* active_gauge = &metrics.gauge("chaos_active_faults");
   // Overlap reference counting per (kind, target), like FailureSchedule.
   auto depth = std::make_shared<std::map<std::string, int>>();
@@ -83,21 +95,27 @@ void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
                          FaultHooks::* hook) {
     const std::string key =
         std::string(fault_kind_name(e.kind)) + "|" + e.target;
+    const std::string stem = std::string("fault.") + fault_kind_name(e.kind);
     auto* injected =
         &metrics.counter("chaos_faults_injected_total",
                          {{"kind", fault_kind_name(e.kind)}});
     simulation.schedule_at(
-        e.start, [e, key, depth, shared_hooks, hook, injected, active_gauge] {
+        e.start, [e, key, stem, depth, shared_hooks, hook, injected,
+                  active_gauge, recorder] {
           injected->add();
           active_gauge->add(1.0);
+          recorder->record("chaos", stem + ".begin", e.target,
+                           {{"magnitude", fmt_magnitude(e.magnitude)},
+                            {"description", e.description}});
           if (++(*depth)[key] == 1 && (*shared_hooks).*hook) {
             ((*shared_hooks).*hook)(e, true);
           }
         });
     simulation.schedule_at(
         e.start + e.duration,
-        [e, key, depth, shared_hooks, hook, active_gauge] {
+        [e, key, stem, depth, shared_hooks, hook, active_gauge, recorder] {
           active_gauge->add(-1.0);
+          recorder->record("chaos", stem + ".end", e.target);
           if (--(*depth)[key] == 0 && (*shared_hooks).*hook) {
             ((*shared_hooks).*hook)(e, false);
           }
@@ -115,8 +133,10 @@ void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
       case FaultKind::corruption: {
         auto* injected = &metrics.counter("chaos_faults_injected_total",
                                           {{"kind", "corruption"}});
-        simulation.schedule_at(e.start, [e, shared_hooks, injected] {
+        simulation.schedule_at(e.start, [e, shared_hooks, injected, recorder] {
           injected->add();
+          recorder->record("chaos", "fault.corruption", e.target,
+                           {{"description", e.description}});
           if (shared_hooks->corruption) shared_hooks->corruption(e);
         });
         break;

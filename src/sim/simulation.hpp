@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace esg::sim {
@@ -104,6 +105,8 @@ class Simulation {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
 
  private:
   struct Event {
@@ -143,6 +146,7 @@ class Simulation {
   common::Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{[this] { return now_; }};
+  obs::FlightRecorder recorder_{[this] { return now_; }};
 
   static constexpr std::size_t kPurgeMinQueue = 64;
 };

@@ -61,6 +61,9 @@ void TapeLibrary::stage(const std::string& name,
 void TapeLibrary::set_stalled(bool stalled) {
   if (stalled_ == stalled) return;
   stalled_ = stalled;
+  sim_.flight_recorder().record(
+      "hrm", stalled_ ? "tape.stalled" : "tape.resumed", "tape",
+      {{"queued", std::to_string(queue_.size())}});
   if (!stalled_) pump();
 }
 

@@ -88,6 +88,73 @@ TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
   EXPECT_EQ(buckets[2], 1u);
 }
 
+TEST(HistogramQuantile, EmptyAndDegenerateInputsYieldZero) {
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile({}, {}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile({1.0, 2.0}, {0, 0, 0}, 0.99), 0.0);
+  eo::Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // nothing observed yet
+}
+
+TEST(HistogramQuantile, InterpolatesInsideTheFirstBucketFromZero) {
+  // One observation in [0, 10]: the median interpolates to the midpoint.
+  eo::Histogram h({10.0, 20.0, 30.0});
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // rank = count: upper edge
+}
+
+TEST(HistogramQuantile, BucketEdgeObservationsLandInTheLowerBucket) {
+  // Boundaries are inclusive upper edges: x == 10 counts in bucket [0,10],
+  // so p100 is exactly the edge and p50 interpolates below it.
+  eo::Histogram h({10.0, 20.0});
+  for (int i = 0; i < 4; ++i) h.observe(10.0);
+  const auto buckets = h.bucket_counts();
+  EXPECT_EQ(buckets[0], 4u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(HistogramQuantile, InterpolatesAcrossInteriorBuckets) {
+  // Buckets [0,1](1) (1,2](2) (2,4](1): rank 2 of 4 sits halfway through
+  // the (1,2] bucket; rank 4 reaches the top of (2,4].
+  eo::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.7);
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);  // rank 1: top of the [0,1] bucket
+}
+
+TEST(HistogramQuantile, OverflowRanksClampToTheLastBoundary) {
+  eo::Histogram h({1.0, 2.0});
+  h.observe(5.0);  // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+  // Mixed: half the mass in-range, half in overflow.
+  eo::Histogram m({1.0, 2.0});
+  m.observe(0.5);
+  m.observe(5.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 1.0);  // rank 1: top of [0,1]
+  EXPECT_DOUBLE_EQ(m.quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantile, SnapshotEntryQuantileMatchesLiveHistogram) {
+  eo::MetricsRegistry reg;
+  auto& h = reg.histogram("stage_wait", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  const auto snap = reg.snapshot(0);
+  const auto* e = snap.find("stage_wait");
+  ASSERT_NE(e, nullptr);
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(e->quantile(p), h.quantile(p)) << "p=" << p;
+  }
+}
+
 TEST(MetricsRegistry, SameSeriesIsStableAndLabelsSeparate) {
   eo::MetricsRegistry reg;
   auto& a = reg.counter("bytes", {{"server", "x"}});
