@@ -1,0 +1,162 @@
+#include "campaign/catalog.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/bytebuf.hpp"
+#include "common/rng.hpp"
+
+namespace esg::campaign {
+
+using common::Bytes;
+
+Bytes CampaignCatalog::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& f : files) total += f.size;
+  return total;
+}
+
+namespace {
+std::vector<std::string> sorted_unique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+std::vector<std::string> CampaignCatalog::destination_sites() const {
+  std::vector<std::string> v;
+  v.reserve(files.size());
+  for (const auto& f : files) v.push_back(f.destination_site);
+  return sorted_unique(std::move(v));
+}
+
+std::vector<std::string> CampaignCatalog::datasets() const {
+  std::vector<std::string> v;
+  v.reserve(files.size());
+  for (const auto& f : files) v.push_back(f.dataset);
+  return sorted_unique(std::move(v));
+}
+
+std::uint64_t CampaignCatalog::fingerprint() const {
+  std::string buf = name;
+  for (const auto& f : files) {
+    buf += '\n';
+    buf += f.dataset;
+    buf += '\0';
+    buf += f.name;
+    buf += '\0';
+    buf += std::to_string(f.size);
+    buf += '\0';
+    buf += f.destination_site;
+    for (const auto& s : f.sources) {
+      buf += '\0';
+      buf += s.host;
+      buf += '/';
+      buf += s.path;
+    }
+  }
+  return common::fnv1a64(buf);
+}
+
+CampaignCatalog synthetic_catalog(const SyntheticCatalogSpec& spec) {
+  common::Rng rng{spec.seed};
+  CampaignCatalog catalog;
+  catalog.name = spec.name;
+  catalog.files.reserve(static_cast<std::size_t>(spec.files));
+  const int datasets = std::max(1, spec.datasets);
+  for (int i = 0; i < spec.files; ++i) {
+    CampaignFile f;
+    f.dataset = "ds" + std::to_string(i % datasets);
+    f.name = f.dataset + "/file." + std::to_string(i / datasets) + ".ncx";
+    const double span =
+        static_cast<double>(spec.max_file_size - spec.min_file_size);
+    f.size = spec.min_file_size +
+             static_cast<Bytes>(span > 0 ? rng.uniform() * span : 0);
+    for (const auto& src : spec.sources) {
+      f.sources.push_back(gridftp::FtpUrl{
+          src.host, src.path.empty() ? f.name : src.path + "/" + f.name});
+    }
+    if (!spec.destination_sites.empty()) {
+      f.destination_site = spec.destination_sites
+          [static_cast<std::size_t>(i) % spec.destination_sites.size()];
+    }
+    catalog.files.push_back(std::move(f));
+  }
+  return catalog;
+}
+
+namespace {
+
+// Async state for the replica-catalog walk: list locations, list files,
+// then look up each file's size.  Lives until the final callback fires.
+struct ReplicaLoad : std::enable_shared_from_this<ReplicaLoad> {
+  replica::ReplicaCatalog& rc;
+  std::string collection;
+  std::vector<std::string> destinations;
+  std::function<void(common::Result<CampaignCatalog>)> done;
+  std::vector<replica::LocationInfo> locations;
+  std::vector<std::string> names;
+  CampaignCatalog out;
+  std::size_t next = 0;
+
+  ReplicaLoad(replica::ReplicaCatalog& c, std::string coll,
+              std::vector<std::string> dests,
+              std::function<void(common::Result<CampaignCatalog>)> d)
+      : rc(c), collection(std::move(coll)), destinations(std::move(dests)),
+        done(std::move(d)) {}
+
+  void start() {
+    out.name = collection;
+    auto self = shared_from_this();
+    rc.list_locations(collection, [self](auto r) {
+      if (!r.ok()) return self->done(r.error());
+      self->locations = std::move(r.value());
+      self->rc.list_files(self->collection, [self](auto r2) {
+        if (!r2.ok()) return self->done(r2.error());
+        self->names = std::move(r2.value());
+        std::sort(self->names.begin(), self->names.end());
+        self->next_file();
+      });
+    });
+  }
+
+  void next_file() {
+    if (next >= names.size()) return done(std::move(out));
+    const std::string name = names[next];
+    auto self = shared_from_this();
+    rc.lookup_logical_file(collection, name, [self, name](auto r) {
+      CampaignFile f;
+      f.dataset = self->collection;
+      f.name = name;
+      if (r.ok()) f.size = r.value().size;
+      for (const auto& loc : self->locations) {
+        if (std::find(loc.files.begin(), loc.files.end(), name) !=
+            loc.files.end()) {
+          f.sources.push_back(loc.url_for(name));
+        }
+      }
+      if (!self->destinations.empty()) {
+        f.destination_site =
+            self->destinations[self->next % self->destinations.size()];
+      }
+      self->out.files.push_back(std::move(f));
+      ++self->next;
+      self->next_file();
+    });
+  }
+};
+
+}  // namespace
+
+void load_catalog_from_replica(
+    replica::ReplicaCatalog& catalog, const std::string& collection,
+    std::vector<std::string> destination_sites,
+    std::function<void(common::Result<CampaignCatalog>)> done) {
+  auto load = std::make_shared<ReplicaLoad>(
+      catalog, collection, std::move(destination_sites), std::move(done));
+  load->start();
+}
+
+}  // namespace esg::campaign

@@ -1,0 +1,82 @@
+// Campaign catalog: the input to a fleet-scale replication campaign.
+//
+// The paper's challenge problem is moving *collections* — months of CO2
+// model output — between ESG sites, not single files.  A CampaignCatalog
+// is the flat, planner-friendly view of that workload: every logical file
+// with its size, the replica URLs it can be fetched from, the dataset it
+// belongs to (the fairness unit), and the site it must land at.
+//
+// Catalogs come from two places:
+//   * synthetic_catalog() — a deterministic seeded generator used by the
+//     campaign bench to build 100k-file workloads without a live catalog;
+//   * load_catalog_from_replica() — an async loader that walks a live
+//     replica::ReplicaCatalog collection (paper §6.2) and derives replica
+//     URLs from its registered locations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "gridftp/url.hpp"
+#include "replica/catalog.hpp"
+
+namespace esg::campaign {
+
+struct CampaignFile {
+  std::string dataset;    // fairness unit (e.g. "run07/atmos")
+  std::string name;       // logical name, unique within the campaign
+  common::Bytes size = 0;
+  /// Replica URLs, preferred-first; the driver's ReliableGet round-robins
+  /// over these under breaker guidance.
+  std::vector<gridftp::FtpUrl> sources;
+  /// Site (destination endpoint key) this file must be replicated to.
+  std::string destination_site;
+};
+
+struct CampaignCatalog {
+  std::string name;
+  std::vector<CampaignFile> files;
+
+  common::Bytes total_bytes() const;
+  /// Sorted unique destination sites / datasets referenced by the files.
+  std::vector<std::string> destination_sites() const;
+  std::vector<std::string> datasets() const;
+  /// Order-sensitive FNV-1a fingerprint over every entry; a manifest
+  /// records it so a resume against a different catalog is refused.
+  std::uint64_t fingerprint() const;
+};
+
+/// Deterministic synthetic workload: same spec ⇒ same catalog bytes.
+struct SyntheticCatalogSpec {
+  std::string name = "campaign";
+  std::uint64_t seed = 1;
+  int datasets = 8;
+  int files = 1000;
+  common::Bytes min_file_size = 4 * common::kMiB;
+  common::Bytes max_file_size = 16 * common::kMiB;
+  /// Source servers; every file gets one URL per source (full replication
+  /// at each source site, the common ESG mirror layout).
+  struct Source {
+    std::string host;
+    std::string path;
+  };
+  std::vector<Source> sources;
+  /// Files are dealt to destinations round-robin.
+  std::vector<std::string> destination_sites;
+};
+
+CampaignCatalog synthetic_catalog(const SyntheticCatalogSpec& spec);
+
+/// Build a catalog from a live replica catalog: every logical file of
+/// `collection` (dataset = collection name), sources derived from each
+/// registered location that holds the file, destinations dealt round-robin
+/// over `destination_sites`.
+void load_catalog_from_replica(
+    replica::ReplicaCatalog& catalog, const std::string& collection,
+    std::vector<std::string> destination_sites,
+    std::function<void(common::Result<CampaignCatalog>)> done);
+
+}  // namespace esg::campaign

@@ -1,0 +1,72 @@
+#include "campaign/planner.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace esg::campaign {
+
+std::size_t CampaignPlan::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& s : sites) n += s.queue.size();
+  return n;
+}
+
+std::size_t CampaignPlan::total_resumed() const {
+  std::size_t n = 0;
+  for (const auto& s : sites) n += s.resumed;
+  return n;
+}
+
+common::Bytes CampaignPlan::total_bytes() const {
+  common::Bytes n = 0;
+  for (const auto& s : sites) n += s.bytes;
+  return n;
+}
+
+CampaignPlan plan_campaign(const CampaignCatalog& catalog,
+                           const CampaignManifest* resume_from) {
+  // site → dataset → file indices (catalog order within a dataset).
+  // std::map keeps both levels sorted, which fixes the interleave order.
+  std::map<std::string, std::map<std::string, std::vector<std::uint32_t>>>
+      grouped;
+  std::map<std::string, std::size_t> resumed;
+  for (std::uint32_t i = 0; i < catalog.files.size(); ++i) {
+    const CampaignFile& f = catalog.files[i];
+    if (resume_from != nullptr &&
+        resume_from->is_complete(f.name, f.destination_site)) {
+      ++resumed[f.destination_site];
+      continue;
+    }
+    grouped[f.destination_site][f.dataset].push_back(i);
+  }
+  // Make sure fully-resumed sites still appear in the plan.
+  for (const auto& [site, n] : resumed) grouped[site];
+
+  CampaignPlan plan;
+  for (auto& [site, datasets] : grouped) {
+    SitePlan sp;
+    sp.site = site;
+    if (auto it = resumed.find(site); it != resumed.end()) {
+      sp.resumed = it->second;
+    }
+    std::size_t remaining = 0;
+    for (const auto& [ds, idx] : datasets) remaining += idx.size();
+    sp.queue.reserve(remaining);
+    // Round-robin: one file per dataset per lap until all are dealt.
+    std::size_t lap = 0;
+    while (remaining > 0) {
+      for (const auto& [ds, idx] : datasets) {
+        if (lap < idx.size()) {
+          sp.queue.push_back(idx[lap]);
+          sp.bytes += catalog.files[idx[lap]].size;
+          --remaining;
+        }
+      }
+      ++lap;
+    }
+    plan.sites.push_back(std::move(sp));
+  }
+  return plan;
+}
+
+}  // namespace esg::campaign

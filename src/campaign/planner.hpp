@@ -1,0 +1,43 @@
+// Campaign planner: turn a catalog (minus already-completed work) into
+// per-destination-site transfer queues.
+//
+// Each file has exactly one destination site, so a 100k-file campaign is
+// 100k tasks sharded across the sites' queues.  Within a queue the planner
+// interleaves datasets round-robin — one file from each dataset in turn —
+// so no dataset monopolizes a site's transfer slots and every dataset makes
+// steady progress (the fairness the ESG users asked of the request manager,
+// lifted to fleet scale).  Planning is pure and deterministic: same catalog
+// + same manifest ⇒ same plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/catalog.hpp"
+#include "campaign/manifest.hpp"
+
+namespace esg::campaign {
+
+struct SitePlan {
+  std::string site;
+  /// Indices into CampaignCatalog::files, dataset-interleaved.
+  std::vector<std::uint32_t> queue;
+  common::Bytes bytes = 0;
+  /// Files skipped at plan time because the manifest already has them.
+  std::size_t resumed = 0;
+};
+
+struct CampaignPlan {
+  std::vector<SitePlan> sites;  // sorted by site name
+
+  std::size_t total_tasks() const;
+  std::size_t total_resumed() const;
+  common::Bytes total_bytes() const;
+};
+
+/// `resume_from` (optional) marks (file, site) pairs already complete; they
+/// are counted as resumed and excluded from the queues.
+CampaignPlan plan_campaign(const CampaignCatalog& catalog,
+                           const CampaignManifest* resume_from = nullptr);
+
+}  // namespace esg::campaign

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -40,7 +41,17 @@ struct RetryPolicy {
     return deadline > 0 && now - started >= deadline;
   }
 
+  /// Overall budget left at `now` for a sequence that began at `started`.
+  /// Zero when the deadline has passed; "unlimited" when deadline == 0.
+  SimDuration remaining_budget(SimTime started, SimTime now) const {
+    if (deadline <= 0) return std::numeric_limits<SimDuration>::max();
+    const SimTime until = started + deadline;
+    return until > now ? until - now : 0;
+  }
+
   /// Backoff before retry number `failures` (1 = after the first failure).
+  /// The max_backoff cap applies to the *jittered* value, so no backoff ever
+  /// exceeds the documented ceiling.
   SimDuration backoff_after(int failures, Rng& rng) const {
     double d = static_cast<double>(retry_backoff);
     for (int i = 1; i < failures; ++i) {
@@ -48,8 +59,23 @@ struct RetryPolicy {
       if (d >= static_cast<double>(max_backoff)) break;
     }
     d = std::min(d, static_cast<double>(max_backoff));
-    if (jitter > 0.0) d *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    if (jitter > 0.0) {
+      d *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+      d = std::min(d, static_cast<double>(max_backoff));
+    }
     return static_cast<SimDuration>(std::max(0.0, d));
+  }
+
+  /// backoff_after() truncated to the remaining overall deadline budget, so
+  /// a backoff sleep never carries the caller past `deadline`.  Returns 0
+  /// when the budget is already exhausted — callers should give up rather
+  /// than sleep (past_deadline() will confirm).
+  SimDuration backoff_within_deadline(int failures, SimTime started,
+                                      SimTime now, Rng& rng) const {
+    // Always draw the jitter so the rng stream (and thus replay determinism)
+    // does not depend on how much budget is left.
+    const SimDuration d = backoff_after(failures, rng);
+    return std::min(d, remaining_budget(started, now));
   }
 };
 

@@ -125,8 +125,19 @@ void ReliableGet::rotate_replica() {
 
 void ReliableGet::schedule_retry() {
   if (finished_) return;
-  const SimDuration delay =
-      reliability_.backoff_after(result_.attempts, client_.simulation().rng());
+  const SimTime now = client_.simulation().now();
+  if (reliability_.past_deadline(result_.started, now)) {
+    // No budget left to sleep on: give up now instead of backing off past
+    // the overall deadline.
+    return finish(Error{Errc::timed_out,
+                        "deadline exceeded after " +
+                            std::to_string(result_.attempts) + " attempts"});
+  }
+  // Truncated to the remaining deadline budget, so the last retry fires at
+  // the deadline itself (where attempt() fails it) rather than overshooting
+  // by up to max_backoff.
+  const SimDuration delay = reliability_.backoff_within_deadline(
+      result_.attempts, result_.started, now, client_.simulation().rng());
   client_.simulation()
       .metrics()
       .histogram("gridftp_retry_backoff_seconds", obs::duration_boundaries())

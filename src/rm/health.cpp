@@ -42,8 +42,14 @@ void ReplicaHealthRegistry::transition(const std::string& host, Entry& e,
         .counter("rm_breaker_open_total", {{"host", host}})
         .add();
   }
-  if (to == BreakerState::half_open) e.probe_successes = 0;
-  if (to == BreakerState::closed) e.failures = 0;
+  if (to == BreakerState::half_open) {
+    e.probe_successes = 0;
+    e.probes_in_flight = 0;
+  }
+  if (to == BreakerState::closed) {
+    e.failures = 0;
+    e.probes_in_flight = 0;
+  }
 }
 
 bool ReplicaHealthRegistry::allow(const std::string& host) {
@@ -65,13 +71,13 @@ bool ReplicaHealthRegistry::allow(const std::string& host) {
       // One probe at a time; if a probe never reported back (the attempt
       // was swallowed somewhere), re-admit after another cooldown rather
       // than wedging the breaker half-open forever.
-      if (e.probe_in_flight && now - e.probe_started < config_.cooldown) {
+      if (e.probes_in_flight > 0 && now - e.probe_started < config_.cooldown) {
         sim_.metrics()
             .counter("rm_breaker_short_circuits_total", {{"host", host}})
             .add();
         return false;
       }
-      e.probe_in_flight = true;
+      e.probes_in_flight = 1;
       e.probe_started = now;
       sim_.metrics().counter("rm_breaker_probes_total", {{"host", host}}).add();
       return true;
@@ -90,11 +96,14 @@ bool ReplicaHealthRegistry::healthy(const std::string& host) const {
 void ReplicaHealthRegistry::record_success(const std::string& host) {
   Entry& e = entry(host);
   e.failures = 0;
-  e.probe_in_flight = false;
   switch (e.state) {
     case BreakerState::closed:
       break;
     case BreakerState::half_open:
+      // Whether this was the probe or a stale attempt that outlived the
+      // trip, a success is evidence of health; it consumes the probe slot
+      // (freeing the next sequential probe when more successes are needed).
+      e.probes_in_flight = 0;
       if (++e.probe_successes >= config_.half_open_successes) {
         transition(host, e, BreakerState::closed);
       }
@@ -109,7 +118,6 @@ void ReplicaHealthRegistry::record_success(const std::string& host) {
 
 void ReplicaHealthRegistry::record_failure(const std::string& host) {
   Entry& e = entry(host);
-  e.probe_in_flight = false;
   ++e.failures;
   switch (e.state) {
     case BreakerState::closed:
@@ -118,8 +126,18 @@ void ReplicaHealthRegistry::record_failure(const std::string& host) {
       }
       break;
     case BreakerState::half_open:
-      // Failed probe: back to open, cooldown restarts.
-      transition(host, e, BreakerState::open);
+      if (e.probes_in_flight > 0) {
+        // Failed probe: back to open, cooldown restarts.
+        transition(host, e, BreakerState::open);
+      } else {
+        // A stale attempt (admitted before the trip, or a last-resort
+        // override) failed while no probe was outstanding.  Re-open, but
+        // keep the original cooldown clock: a stream of stale failures
+        // must not keep pushing the next probe out forever.
+        const common::SimTime original_opened_at = e.opened_at;
+        transition(host, e, BreakerState::open);
+        e.opened_at = original_opened_at;
+      }
       break;
     case BreakerState::open:
       // Last-resort attempts while open don't refresh the cooldown clock —

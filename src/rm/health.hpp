@@ -11,7 +11,12 @@
 //   half_open — cooldown over; allow() admits one probe attempt at a time.
 //               A probe success (x `half_open_successes`) closes the
 //               breaker; a probe failure re-opens it and restarts the
-//               cooldown clock.
+//               cooldown clock.  Outcomes of attempts admitted *before* the
+//               trip (stale attempts still draining) neither release the
+//               probe slot nor restart the cooldown: under sustained
+//               concurrent load (many workers per site) they would
+//               otherwise admit a herd of concurrent "probes" or starve
+//               probing entirely.
 //
 // Two read paths with different contracts:
 //   * allow(host)    — mutating; call once per actual attempt (it is what
@@ -73,7 +78,12 @@ class ReplicaHealthRegistry {
     int failures = 0;            // consecutive
     int probe_successes = 0;     // while half_open
     common::SimTime opened_at = 0;
-    bool probe_in_flight = false;
+    // Probe-slot accounting while half_open.  Only admissions (allow()) and
+    // state transitions touch it: attempt outcomes cannot distinguish the
+    // probe from attempts admitted before the breaker tripped, so letting
+    // every record_*() release the slot would admit a herd of "probes"
+    // under sustained concurrent load (the campaign workload).
+    int probes_in_flight = 0;
     common::SimTime probe_started = 0;
     obs::Gauge* gauge = nullptr;
   };

@@ -207,8 +207,16 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
   /// failure-prone rung of the fetch ladder).
   void attempt_stage() {
     if (terminal) return;
-    ++stage_attempts;
     const auto& policy = job->options.stage_retry;
+    if (stage_attempts > 0 &&
+        policy.past_deadline(stage_started, sim().now())) {
+      // A truncated backoff lands exactly on the deadline; fail here rather
+      // than issuing one more stage RPC past the overall budget.
+      return finish(Error{Errc::timed_out,
+                          "stage deadline exceeded after " +
+                              std::to_string(stage_attempts) + " attempts"});
+    }
+    ++stage_attempts;
     const auto timeout = policy.attempt_timeout > 0
                              ? policy.attempt_timeout
                              : job->options.stage_timeout;
@@ -229,8 +237,14 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
               {{"attempt", std::to_string(self->stage_attempts)},
                {"error", staged.error().to_string()}},
               self->track);
+          // Backoff truncated to the remaining deadline budget: the retry
+          // fires no later than the deadline itself, where attempt_stage()
+          // gives up, instead of sleeping past the overall budget.
           self->sim().schedule_after(
-              policy.backoff_after(self->stage_attempts, self->sim().rng()),
+              policy.backoff_within_deadline(self->stage_attempts,
+                                             self->stage_started,
+                                             self->sim().now(),
+                                             self->sim().rng()),
               [self] { self->attempt_stage(); });
         },
         timeout);

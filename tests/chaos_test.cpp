@@ -56,6 +56,71 @@ TEST(RetryPolicy, JitterStaysInBoundsAndReplays) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(p.backoff_after(1, rng), first[i]);
 }
 
+TEST(RetryPolicy, JitterNeverExceedsMaxBackoffAtTheCap) {
+  // Regression: jitter used to be multiplied in *after* the max_backoff
+  // clamp, so a backoff already at the cap could exceed it by up to
+  // (1 + jitter)x.  The cap must bound the jittered value too.
+  ec::RetryPolicy p;
+  p.retry_backoff = 2 * kSecond;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = 10 * kSecond;
+  p.jitter = 0.5;
+  ec::Rng rng{7};
+  for (int failures = 1; failures <= 12; ++failures) {
+    for (int i = 0; i < 200; ++i) {
+      const auto d = p.backoff_after(failures, rng);
+      EXPECT_LE(d, p.max_backoff)
+          << "failures=" << failures << " draw=" << i;
+    }
+  }
+  // The downward half of the jitter still applies at the cap.
+  ec::Rng rng2{7};
+  bool saw_below_cap = false;
+  for (int i = 0; i < 200; ++i) {
+    if (p.backoff_after(8, rng2) < p.max_backoff) saw_below_cap = true;
+  }
+  EXPECT_TRUE(saw_below_cap);
+}
+
+TEST(RetryPolicy, BackoffWithinDeadlineTruncatesToRemainingBudget) {
+  ec::RetryPolicy p;
+  p.retry_backoff = 10 * kSecond;
+  p.backoff_multiplier = 1.0;
+  p.deadline = kMinute;
+  ec::Rng rng{1};
+  // Plenty of budget: full backoff.
+  EXPECT_EQ(p.backoff_within_deadline(1, 0, 0, rng), 10 * kSecond);
+  // 4 s of budget left: the sleep is truncated so the retry fires at the
+  // deadline, not past it.
+  EXPECT_EQ(p.backoff_within_deadline(1, 0, kMinute - 4 * kSecond, rng),
+            4 * kSecond);
+  // Budget exhausted: no sleep at all.
+  EXPECT_EQ(p.backoff_within_deadline(1, 0, kMinute, rng), 0);
+  EXPECT_EQ(p.backoff_within_deadline(1, 0, 2 * kMinute, rng), 0);
+  EXPECT_EQ(p.remaining_budget(0, kMinute + 1), 0);
+  // No deadline: never truncated.
+  p.deadline = 0;
+  EXPECT_EQ(p.backoff_within_deadline(1, 0, 100 * kMinute, rng),
+            10 * kSecond);
+}
+
+TEST(RetryPolicy, DeadlineTruncationKeepsTheJitterStreamStable) {
+  // The jitter draw must happen whether or not the result is truncated —
+  // otherwise how much budget was left would shift every later draw and
+  // break same-seed replay.
+  ec::RetryPolicy p;
+  p.retry_backoff = 10 * kSecond;
+  p.backoff_multiplier = 1.0;
+  p.jitter = 0.25;
+  p.deadline = kMinute;
+  ec::Rng a{5};
+  ec::Rng b{5};
+  (void)p.backoff_within_deadline(1, 0, 0, a);           // not truncated
+  (void)p.backoff_within_deadline(1, 0, kMinute - 1, b); // fully truncated
+  // Both streams consumed exactly one uniform: the next draws agree.
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
 TEST(RetryPolicy, AttemptAndDeadlineBudgets) {
   ec::RetryPolicy p;
   p.max_attempts = 3;
@@ -230,6 +295,77 @@ TEST(Breaker, HealthyIsConstAndDoesNotConsumeProbe) {
   EXPECT_EQ(reg.state("srv"), er::BreakerState::half_open);
 }
 
+TEST(Breaker, StaleSuccessDoesNotAdmitAConcurrentProbeHerd) {
+  // Under sustained per-site load many attempts admitted *before* the trip
+  // are still draining when the breaker goes half-open.  Their outcomes
+  // must not multiply the probe slot: after any single success the breaker
+  // either closes (half_open_successes reached) or frees exactly one slot
+  // for the next sequential probe — two allow() calls in a row never both
+  // pass while half-open.
+  es::Simulation sim;
+  er::ReplicaHealthRegistry reg(sim, {.failure_threshold = 1,
+                                      .cooldown = 30 * kSecond,
+                                      .half_open_successes = 3});
+  reg.record_failure("srv");
+  sim.schedule_at(31 * kSecond, [] {});
+  sim.run();
+  ASSERT_TRUE(reg.allow("srv"));  // probe 1
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::half_open);
+  for (int round = 0; round < 2; ++round) {
+    // A stale success drains in; the slot frees for ONE next probe.
+    reg.record_success("srv");
+    EXPECT_EQ(reg.state("srv"), er::BreakerState::half_open);
+    EXPECT_TRUE(reg.allow("srv"));
+    EXPECT_FALSE(reg.allow("srv"));  // still one probe at a time
+    EXPECT_FALSE(reg.allow("srv"));
+  }
+  reg.record_success("srv");  // third success closes
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::closed);
+}
+
+TEST(Breaker, StaleFailureWhileHalfOpenCannotStarveProbing) {
+  // Regression: a failure arriving while half-open with NO probe
+  // outstanding (a stale attempt from before the trip) used to re-open the
+  // breaker with a fresh cooldown — a stream of stale failures pushed the
+  // next probe out forever.  The re-open must keep the original cooldown
+  // clock so probing resumes immediately.
+  es::Simulation sim;
+  er::ReplicaHealthRegistry reg(sim, {.failure_threshold = 1,
+                                      .cooldown = 30 * kSecond,
+                                      .half_open_successes = 2});
+  reg.record_failure("srv");  // trip at t=0
+  sim.schedule_at(31 * kSecond, [] {});
+  sim.run();
+  ASSERT_TRUE(reg.allow("srv"));   // probe admitted
+  reg.record_success("srv");       // 1 of 2: slot free, still half-open
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::half_open);
+  // Stale failures drain in while no probe is outstanding.
+  for (int i = 0; i < 5; ++i) reg.record_failure("srv");
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::open);
+  // The original cooldown (from t=0) has long elapsed, so the very next
+  // real attempt is admitted as a probe — no 30 s starvation window.
+  EXPECT_TRUE(reg.healthy("srv"));
+  EXPECT_TRUE(reg.allow("srv"));
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::half_open);
+}
+
+TEST(Breaker, ProbeFailureWithProbeOutstandingRestartsCooldown) {
+  // The conservative half: when the probe itself (indistinguishable from a
+  // concurrent stale attempt) fails, the breaker re-opens with a FRESH
+  // cooldown.
+  es::Simulation sim;
+  er::ReplicaHealthRegistry reg(sim, {.failure_threshold = 1,
+                                      .cooldown = 30 * kSecond});
+  reg.record_failure("srv");
+  sim.schedule_at(31 * kSecond, [] {});
+  sim.run();
+  ASSERT_TRUE(reg.allow("srv"));  // probe outstanding
+  reg.record_failure("srv");      // probe failed
+  EXPECT_EQ(reg.state("srv"), er::BreakerState::open);
+  EXPECT_FALSE(reg.allow("srv"));  // fresh cooldown holds
+  EXPECT_FALSE(reg.healthy("srv"));
+}
+
 TEST(Breaker, UnknownHostsAreHealthy) {
   es::Simulation sim;
   er::ReplicaHealthRegistry reg(sim);
@@ -341,6 +477,72 @@ TEST(ChaosEndToEnd, ServerCrashFailsInFlightGetAndRestartRecovers) {
   EXPECT_GT(result.attempts, 1);
   EXPECT_TRUE(lbnl->crashed() == false);
   EXPECT_GT(grid.sim.now(), 62 * kSecond);  // only completable post-restart
+}
+
+TEST(ChaosEndToEnd, ReliableGetDeadlineIsNeverOvershotByBackoff) {
+  // Regression: past_deadline was only consulted between attempts, so the
+  // last backoff sleep could carry the transfer past its deadline by up to
+  // max_backoff.  Now the backoff is truncated to the remaining budget and
+  // the failure is reported AT the deadline.
+  MiniGrid grid;
+  put_everywhere(grid, "data.ncx");
+  auto* lbnl = grid.servers.at("lbnl.host").get();
+  lbnl->crash();  // every attempt fails: the policy alone decides the end
+  eg::ReliabilityOptions rel;
+  rel.retry_backoff = 15 * kSecond;
+  rel.backoff_multiplier = 1.0;
+  rel.max_backoff = kMinute;
+  rel.jitter = 0.0;
+  rel.deadline = 12 * kSecond;
+  rel.max_attempts = 100;
+  eg::TransferOptions opts;
+  opts.stall_timeout = 5 * kSecond;
+  bool done = false;
+  eg::ReliableResult result;
+  eg::ReliableGet::start(*grid.client, {{"lbnl.host", "data.ncx"}},
+                         "in/data.ncx", opts, rel, nullptr,
+                         [&](eg::ReliableResult r) {
+                           result = r;
+                           done = true;
+                         });
+  ASSERT_TRUE(grid.run_until_flag(done));
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.error().code, ec::Errc::timed_out);
+  // Attempt 1 fails around t=5s (stall timeout); the 15 s backoff must be
+  // truncated to the 7 s of budget left, ending the transfer exactly at
+  // the 12 s deadline — never at 5 + 15 = 20 s.
+  EXPECT_LE(result.finished, result.started + rel.deadline);
+}
+
+TEST(ChaosEndToEnd, ReliableGetGivesUpImmediatelyWhenBudgetExhausted) {
+  // When an attempt's failure already lands past the deadline there is no
+  // budget to sleep on: the transfer must fail right then, not after
+  // another backoff.
+  MiniGrid grid;
+  put_everywhere(grid, "data.ncx");
+  auto* lbnl = grid.servers.at("lbnl.host").get();
+  lbnl->crash();
+  eg::ReliabilityOptions rel;
+  rel.retry_backoff = 30 * kSecond;
+  rel.jitter = 0.0;
+  rel.deadline = 3 * kSecond;  // shorter than the first attempt's timeout
+  eg::TransferOptions opts;
+  opts.stall_timeout = 5 * kSecond;
+  bool done = false;
+  eg::ReliableResult result;
+  eg::ReliableGet::start(*grid.client, {{"lbnl.host", "data.ncx"}},
+                         "in/data.ncx", opts, rel, nullptr,
+                         [&](eg::ReliableResult r) {
+                           result = r;
+                           done = true;
+                         });
+  ASSERT_TRUE(grid.run_until_flag(done));
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.error().code, ec::Errc::timed_out);
+  // The first attempt fails ~5 s in (already past the 3 s deadline); the
+  // 30 s backoff must not be slept.
+  EXPECT_LT(result.finished, result.started + 10 * kSecond);
+  EXPECT_EQ(result.attempts, 1);
 }
 
 TEST(ChaosEndToEnd, CrashedServerLosesTicketsAcrossRestart) {

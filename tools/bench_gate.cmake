@@ -15,7 +15,8 @@
 # Refresh the baselines intentionally (after an accepted perf change) with:
 #   cp <build>/bench-gate/MANIFEST_*.json bench/baselines/
 
-foreach(var BENCH_FLUID BENCH_CHAOS ESG_REPORT BASELINE_DIR WORK_DIR)
+foreach(var BENCH_FLUID BENCH_CHAOS BENCH_CAMPAIGN ESG_REPORT BASELINE_DIR
+            WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_gate: -D${var}=... is required")
   endif()
@@ -67,8 +68,10 @@ endfunction()
 
 run_bench("bench_fluid_scale --small" "${BENCH_FLUID}" --small)
 run_bench("bench_chaos" "${BENCH_CHAOS}")
+run_bench("bench_campaign --small" "${BENCH_CAMPAIGN}" --small)
 
 gate_manifest(fluid_scale)
 gate_manifest(chaos)
+gate_manifest(campaign)
 
 message(STATUS "bench_gate: all manifests within tolerance ${TOLERANCE}")
