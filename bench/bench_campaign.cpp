@@ -57,6 +57,7 @@ struct Outcome {
   obs::MetricsSnapshot snapshot;
   obs::RunManifest manifest;
   std::string manifest_json;
+  std::string series_json;  // campaign_* telemetry for BENCH_campaign.json
 };
 
 campaign::CampaignCatalog make_catalog(const Scale& scale) {
@@ -210,6 +211,10 @@ Outcome run_world(const Scale& scale, std::uint64_t seed,
 
   Outcome out;
   out.timeline_hash = world.injector.timeline_hash();
+  // Stream telemetry while the fleet moves: the per-file latency histogram
+  // emits campaign_file_seconds:p50/:p99 series over time, queue depths
+  // chart the drain.
+  world.sim.start_telemetry(kSecond);
   driver.run([&](const campaign::IntegrityReport& r) {
     out.report = r;
     out.completed = true;
@@ -250,6 +255,16 @@ Outcome run_world(const Scale& scale, std::uint64_t seed,
   out.manifest.set_bench("goodput_mbps", out.goodput_mbps);
   out.manifest.set_bench("finished_at_s",
                          common::to_seconds(out.finished_at));
+  // Gate campaign telemetry drift too: latency quantiles and queue depth
+  // histories land in the manifest (small — coarse rollups, capped).
+  obs::attach_telemetry(out.manifest, world.sim.telemetry(),
+                        world.sim.alerts(),
+                        {"campaign_file_seconds:p", "campaign_queue_depth"},
+                        12);
+  out.series_json = bench::telemetry_series_json(
+      world.sim.telemetry(),
+      {"campaign_file_seconds:p", "campaign_queue_depth",
+       "campaign_active_transfers"});
   out.manifest_json = out.manifest.to_json();
   return out;
 }
@@ -355,7 +370,7 @@ int main(int argc, char** argv) {
            std::to_string(self_diff.series_compared) + " series"},
   };
   bench::print_table(rows);
-  bench::write_bench_json("campaign", rows, a.snapshot);
+  bench::write_bench_json("campaign", rows, a.snapshot, a.series_json);
 
   if (!all_moved || !deterministic || !resume_ok || !self_diff.clean()) {
     std::printf("\nCAMPAIGN RUN FAILED: %s%s%s%s\n",

@@ -45,6 +45,10 @@ struct ChaosOutcome {
   std::uint64_t timeline_hash = 0;
   int completed = 0;
   int failed = 0;
+  int burn_alerts = 0;     // burn-rate firings during the run
+  int anomaly_alerts = 0;  // anomaly firings during the run
+  int correlated_alerts = 0;  // firings correlate_alert ties to a fault
+  std::string alert_story;    // "rule <- fault" lines for the table
   Bytes total_bytes = 0;
   SimTime finished_at = 0;
   double recovery_seconds = -1.0;  // server-crash begin -> next completion
@@ -243,6 +247,27 @@ ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
     }
   }
 
+  // ---- streaming telemetry: 1 s sampling, online alerting ----
+  // Burn-rate page: the transfer path promises 99% of attempts succeed;
+  // the crash/brownout bursts of failed attempts burn that budget far
+  // faster than 2x on both the 60 s and 15 s windows.
+  obs::BurnRateRule burn;
+  burn.name = "gridftp-failure-burn";
+  burn.bad_metric = "gridftp_transfers_failed_total";
+  burn.good_metric = "gridftp_transfers_started_total";
+  burn.objective = 0.99;
+  burn.threshold = 2.0;
+  sim.alerts().add(burn);
+  // Anomaly page: aggregate goodput (bytes/s over a 10 s window) shifting
+  // several sigmas off its EWMA baseline — the cliff a brownout or server
+  // crash carves into the transfer rate.
+  obs::AnomalyRule cliff;
+  cliff.name = "goodput-cliff";
+  cliff.metric = "gridftp_channel_bytes_total";
+  cliff.rate_window = 10 * kSecond;
+  sim.alerts().add(cliff);
+  auto telemetry = sim.start_telemetry(kSecond);
+
   // ---- workload ----
   rm::BreakerConfig breaker;
   breaker.failure_threshold = 2;
@@ -270,6 +295,9 @@ ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
   manager.submit(wanted, opts, [&](rm::RequestResult r) {
     result = std::move(r);
     done = true;
+    // Stop the watchdog with the workload: the goodput falling to zero
+    // after the last file lands is the run ending, not an anomaly.
+    telemetry.cancel();
   });
   sim.run();
   if (!done) return out;  // wedged — the zero counts will fail the checks
@@ -317,6 +345,31 @@ ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
   out.manifest.set_bench("goodput_mbps", out.goodput_mbps);
   out.manifest.set_bench("recovery_seconds", out.recovery_seconds);
   out.manifest.set_bench("finished_at_s", common::to_seconds(out.finished_at));
+
+  // Streaming-telemetry payload: the full alert timeline plus condensed
+  // history for the headline families — baked into the manifest so the
+  // bench gate fails on any drift in alert firing.
+  obs::attach_telemetry(out.manifest, sim.telemetry(), sim.alerts(),
+                        {"gridftp_channel_bytes_total",
+                         "gridftp_transfers_failed_total",
+                         "rm_file_duration_seconds:p"});
+  for (const auto& a : out.manifest.alerts) {
+    if (a.fired_at > out.finished_at) continue;
+    (a.kind == obs::AlertKind::burn_rate ? out.burn_alerts
+                                         : out.anomaly_alerts)++;
+    const auto* fault = obs::correlate_alert(out.manifest.events, a);
+    if (fault != nullptr) {
+      ++out.correlated_alerts;
+      out.alert_story += "  " + a.rule + " @" +
+                         common::format_time(a.fired_at) + " <- " +
+                         fault->name + " " + fault->target + " (" +
+                         std::string(fault->attr("description")) + ")\n";
+    } else {
+      out.alert_story += "  " + a.rule + " @" +
+                         common::format_time(a.fired_at) +
+                         " <- (uncorrelated)\n";
+    }
+  }
   out.manifest_json = out.manifest.to_json();
   return out;
 }
@@ -359,6 +412,14 @@ int main() {
   const bool watchdog_ok = self_diff.clean() && !perturbed_diff.clean();
   const int total_files = kDiskFiles + kTapeFiles;
   const bool all_complete = a.completed == total_files && a.failed == 0;
+  // The during-run alerting contract: at least one burn-rate page and one
+  // anomaly page fired while the workload ran, every firing correlates to
+  // an injected fault, and the timelines of both same-seed runs agree to
+  // the byte (already pinned by the manifest comparison above).
+  const bool alerts_ok =
+      a.burn_alerts >= 1 && a.anomaly_alerts >= 1 &&
+      a.correlated_alerts == a.burn_alerts + a.anomaly_alerts &&
+      a.burn_alerts == b.burn_alerts && a.anomaly_alerts == b.anomaly_alerts;
 
   char hash_buf[32];
   std::snprintf(hash_buf, sizeof hash_buf, "%016" PRIx64, a.timeline_hash);
@@ -393,15 +454,26 @@ int main() {
        perturbed_diff.clean() ? "NOT FLAGGED" : "flagged"},
       {"flight events recorded", "(hundreds)",
        std::to_string(a.manifest.events_recorded)},
+      {"burn-rate alerts during run", ">= 1",
+       std::to_string(a.burn_alerts)},
+      {"anomaly alerts during run", ">= 1",
+       std::to_string(a.anomaly_alerts)},
+      {"alerts correlated to a fault", "all",
+       std::to_string(a.correlated_alerts) + " of " +
+           std::to_string(a.burn_alerts + a.anomaly_alerts)},
+      {"telemetry samples", "(one per sim-second)",
+       std::to_string(a.manifest.series.size()) + " series in manifest"},
   };
   bench::print_table(rows);
+  std::printf("\nalert root-cause correlation:\n%s", a.alert_story.c_str());
   bench::write_bench_json("chaos", rows, a.snapshot);
 
-  if (!all_complete || !deterministic || !watchdog_ok) {
-    std::printf("\nCHAOS RUN FAILED: %s%s%s\n",
+  if (!all_complete || !deterministic || !watchdog_ok || !alerts_ok) {
+    std::printf("\nCHAOS RUN FAILED: %s%s%s%s\n",
                 all_complete ? "" : "not every file completed; ",
                 deterministic ? "" : "same-seed runs diverged; ",
-                watchdog_ok ? "" : "run-diff watchdog misbehaved");
+                watchdog_ok ? "" : "run-diff watchdog misbehaved; ",
+                alerts_ok ? "" : "during-run alerting contract broken");
     if (!self_diff.clean()) std::fputs(self_diff.render().c_str(), stdout);
     return 1;
   }

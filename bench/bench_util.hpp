@@ -112,12 +112,62 @@ inline void print_table(const std::vector<Row>& rows) {
   }
 }
 
+/// Condense telemetry series into a JSON array for the BENCH file: one
+/// object per series whose name contains any `include` substring (empty =
+/// all), carrying the coarse rollup buckets as (start_s, min, max, mean)
+/// rows — "p99 per-file latency over time" as data, not a sparkline.
+inline std::string telemetry_series_json(
+    const obs::TimeSeriesStore& store,
+    const std::vector<std::string>& include) {
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  std::string out = "[";
+  bool first_series = true;
+  store.for_each([&](const std::string& name, const obs::Labels& labels,
+                     const obs::TimeSeries& s) {
+    if (!include.empty()) {
+      bool keep = false;
+      for (const auto& needle : include) {
+        if (name.find(needle) != std::string::npos) {
+          keep = true;
+          break;
+        }
+      }
+      if (!keep) return;
+    }
+    if (!first_series) out += ",";
+    first_series = false;
+    out += "\n    {\"name\":\"" + name + "\",\"labels\":{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + labels[i].first + "\":\"" + labels[i].second + "\"";
+    }
+    out += "},\"points\":[";
+    const auto points = s.coarse();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i) out += ",";
+      out += "{\"start_s\":" + fmt(common::to_seconds(points[i].start)) +
+             ",\"min\":" + fmt(points[i].min) +
+             ",\"max\":" + fmt(points[i].max) +
+             ",\"mean\":" + fmt(points[i].mean()) + "}";
+    }
+    out += "]}";
+  });
+  out += "\n  ]";
+  return out;
+}
+
 /// Write BENCH_<name>.json: the paper-vs-measured rows plus the full obs
-/// metrics snapshot, so downstream tooling can diff runs without scraping
-/// the printed tables.
+/// metrics snapshot — and, when `series_json` (telemetry_series_json) is
+/// non-empty, the condensed telemetry history — so downstream tooling can
+/// diff runs without scraping the printed tables.
 inline void write_bench_json(const std::string& name,
                              const std::vector<Row>& rows,
-                             const obs::MetricsSnapshot& snapshot) {
+                             const obs::MetricsSnapshot& snapshot,
+                             const std::string& series_json = "") {
   auto esc = [](const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -138,7 +188,9 @@ inline void write_bench_json(const std::string& name,
            esc(rows[i].paper) + "\",\"measured\":\"" + esc(rows[i].measured) +
            "\"}";
   }
-  out += "\n  ],\n  \"metrics\": " + obs::to_json(snapshot) + "\n}\n";
+  out += "\n  ],\n  \"metrics\": " + obs::to_json(snapshot);
+  if (!series_json.empty()) out += ",\n  \"series\": " + series_json;
+  out += "\n}\n";
   const std::string path = "BENCH_" + name + ".json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fwrite(out.data(), 1, out.size(), f);

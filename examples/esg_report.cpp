@@ -1,44 +1,61 @@
-// esg-report: offline analysis of run manifests (DESIGN.md §9).
+// esg-report: offline analysis of run manifests (DESIGN.md §9, §11).
 //
 // A RunManifest (written by the benches, or by any code calling
 // obs::capture_manifest) carries the whole identity of a simulated run:
 // seed, topology, fault-plan fingerprint, flight-recorder events, final
-// metrics snapshot and headline bench numbers.  This tool retells that
-// story without re-running anything:
+// metrics snapshot, headline bench numbers — and, when the run streamed
+// telemetry, the alert timeline and condensed per-series history.  This
+// tool retells that story without re-running anything:
 //
 //   esg-report summary    MANIFEST.json
 //   esg-report postmortem MANIFEST.json [file...]
 //   esg-report slo        MANIFEST.json 'rule' ['rule'...]
+//   esg-report timeline   MANIFEST.json [series-substr...]
+//   esg-report alerts     MANIFEST.json
 //   esg-report diff       BASELINE.json CURRENT.json [--tolerance F]
 //                         [--ignore SUBSTR]... [--exact]
 //
 // `postmortem` with no file argument reports every failed or degraded
 // transfer.  `slo` rules look like "rm_files_failed_total == 0" or
-// "p99(rm_file_duration_seconds) < 300".  `diff` is the regression
-// watchdog: identity fields compare exactly, metrics and bench values
-// under the tolerance; any drift (or failed SLO) exits nonzero so the
-// bench gate can fail a build.
+// "p99(rm_file_duration_seconds) < 300".  `timeline` renders the retained
+// rollup history of each telemetry series (filtered by name substring) as
+// per-bucket rows and a sparkline; `alerts` prints every firing with its
+// root-cause correlation against the injected fault events.  `diff` is the
+// regression watchdog: identity fields and the alert timeline compare
+// exactly, metrics and bench values under the tolerance; any drift (or
+// failed SLO) exits nonzero so the bench gate can fail a build.
+//
+// Every subcommand validates its arguments the same way: a bad subcommand,
+// a missing operand or an unreadable manifest prints a one-line error plus
+// the usage text and exits 2 (analysis findings — failed SLOs, drift —
+// exit 1; only a clean run exits 0).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/alert.hpp"
 #include "obs/manifest.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/slo.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  esg-report summary    MANIFEST.json\n"
-      "  esg-report postmortem MANIFEST.json [file...]\n"
-      "  esg-report slo        MANIFEST.json RULE [RULE...]\n"
-      "  esg-report diff       BASELINE.json CURRENT.json [--tolerance F]\n"
-      "                        [--ignore SUBSTR]... [--exact]\n");
+const char kUsage[] =
+    "usage:\n"
+    "  esg-report summary    MANIFEST.json\n"
+    "  esg-report postmortem MANIFEST.json [file...]\n"
+    "  esg-report slo        MANIFEST.json RULE [RULE...]\n"
+    "  esg-report timeline   MANIFEST.json [series-substr...]\n"
+    "  esg-report alerts    MANIFEST.json\n"
+    "  esg-report diff       BASELINE.json CURRENT.json [--tolerance F]\n"
+    "                        [--ignore SUBSTR]... [--exact]\n";
+
+int usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "esg-report: %s\n", error.c_str());
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -64,6 +81,8 @@ int cmd_summary(const std::string& path) {
               static_cast<unsigned long long>(m.events_recorded),
               static_cast<unsigned long long>(m.events_evicted));
   std::printf("metrics    %zu series\n", m.metrics.entries.size());
+  std::printf("telemetry  %zu series, %zu alerts\n", m.series.size(),
+              m.alerts.size());
   for (const auto& b : m.bench) {
     std::printf("bench      %s = %g\n", b.name.c_str(), b.value);
   }
@@ -106,27 +125,118 @@ int cmd_slo(const std::string& path, const std::vector<std::string>& exprs) {
   return report.all_pass ? 0 : 1;
 }
 
+// One telemetry series: life aggregates, then the retained rollup buckets
+// as rows plus a min-max-scaled sparkline of the bucket means.
+void print_series(const esg::obs::SeriesSummary& s) {
+  std::string label = s.name;
+  if (!s.labels.empty()) {
+    label += "{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i) label += ",";
+      label += s.labels[i].first + "=" + s.labels[i].second;
+    }
+    label += "}";
+  }
+  std::printf("%s\n", label.c_str());
+  std::printf("  life: %llu samples, min %g, max %g, mean %g\n",
+              static_cast<unsigned long long>(s.samples), s.min, s.max,
+              s.samples ? s.sum / static_cast<double>(s.samples) : 0.0);
+  if (s.points.empty()) return;
+  double lo = s.points.front().mean();
+  double hi = lo;
+  for (const auto& p : s.points) {
+    lo = std::min(lo, p.mean());
+    hi = std::max(hi, p.mean());
+  }
+  static const char kRamp[] = " _.-=+*#%@";
+  std::string spark;
+  for (const auto& p : s.points) {
+    const double f = hi > lo ? (p.mean() - lo) / (hi - lo) : 0.5;
+    spark += kRamp[std::max(0, std::min(9, static_cast<int>(f * 9.0 + 0.5)))];
+  }
+  std::printf("  |%s|  (%g .. %g)\n", spark.c_str(), lo, hi);
+  for (const auto& p : s.points) {
+    std::printf("  [%8s] min %-12g max %-12g mean %-12g n=%llu\n",
+                esg::common::format_time(p.start).c_str(), p.min, p.max,
+                p.mean(), static_cast<unsigned long long>(p.count));
+  }
+}
+
+int cmd_timeline(const std::string& path,
+                 const std::vector<std::string>& filters) {
+  const auto m = load_or_die(path);
+  std::size_t shown = 0;
+  for (const auto& s : m.series) {
+    if (!filters.empty() &&
+        std::none_of(filters.begin(), filters.end(), [&](const auto& f) {
+          return s.name.find(f) != std::string::npos;
+        })) {
+      continue;
+    }
+    print_series(s);
+    ++shown;
+  }
+  if (shown == 0) {
+    std::printf("no telemetry series%s in %s\n",
+                filters.empty() ? "" : " matching the filters", path.c_str());
+  }
+  if (!m.alerts.empty()) {
+    std::printf("\nalert timeline:\n%s",
+                esg::obs::render_alerts(m.alerts).c_str());
+  }
+  return 0;
+}
+
+int cmd_alerts(const std::string& path) {
+  const auto m = load_or_die(path);
+  if (m.alerts.empty()) {
+    std::printf("no alerts fired in %s\n", path.c_str());
+    return 0;
+  }
+  std::fputs(esg::obs::render_alerts(m.alerts).c_str(), stdout);
+  std::printf("\nroot-cause correlation:\n");
+  for (const auto& a : m.alerts) {
+    const auto* fault = esg::obs::correlate_alert(m.events, a);
+    if (fault != nullptr) {
+      std::printf("  %-24s <- %s %s (%s, at %s)\n", a.rule.c_str(),
+                  fault->name.c_str(), fault->target.c_str(),
+                  std::string(fault->attr("description")).c_str(),
+                  esg::common::format_time(fault->at).c_str());
+    } else {
+      std::printf("  %-24s <- no injected fault in the recency window\n",
+                  a.rule.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_diff(const std::vector<std::string>& args) {
   std::string baseline_path, current_path;
   esg::obs::DriftTolerance tolerance;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--tolerance" && i + 1 < args.size()) {
+    if (a == "--tolerance") {
+      if (i + 1 >= args.size()) return usage("--tolerance needs a value");
       tolerance.relative = std::atof(args[++i].c_str());
-    } else if (a == "--ignore" && i + 1 < args.size()) {
+    } else if (a == "--ignore") {
+      if (i + 1 >= args.size()) return usage("--ignore needs a value");
       tolerance.ignore.push_back(args[++i]);
     } else if (a == "--exact") {
       tolerance.relative = 0.0;
       tolerance.absolute = 0.0;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage("unknown diff option '" + a + "'");
     } else if (baseline_path.empty()) {
       baseline_path = a;
     } else if (current_path.empty()) {
       current_path = a;
     } else {
-      return usage();
+      return usage("diff takes exactly two manifests");
     }
   }
-  if (baseline_path.empty() || current_path.empty()) return usage();
+  if (baseline_path.empty() || current_path.empty()) {
+    return usage("diff needs BASELINE.json and CURRENT.json");
+  }
   const auto baseline = load_or_die(baseline_path);
   const auto current = load_or_die(current_path);
   const auto report = esg::obs::diff_manifests(baseline, current, tolerance);
@@ -137,20 +247,35 @@ int cmd_diff(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage("no subcommand given");
   const std::string cmd = argv[1];
   std::vector<std::string> rest(argv + 2, argv + argc);
-  if (cmd == "summary" && rest.size() == 1) return cmd_summary(rest[0]);
+  if (cmd == "summary") {
+    if (rest.size() != 1) return usage("summary takes exactly one manifest");
+    return cmd_summary(rest[0]);
+  }
   if (cmd == "postmortem") {
+    if (rest.empty()) return usage("postmortem needs a manifest");
     const std::string path = rest.front();
     rest.erase(rest.begin());
     return cmd_postmortem(path, std::move(rest));
   }
-  if (cmd == "slo" && rest.size() >= 2) {
+  if (cmd == "slo") {
+    if (rest.size() < 2) return usage("slo needs a manifest and a rule");
     const std::string path = rest.front();
     rest.erase(rest.begin());
     return cmd_slo(path, rest);
   }
+  if (cmd == "timeline") {
+    if (rest.empty()) return usage("timeline needs a manifest");
+    const std::string path = rest.front();
+    rest.erase(rest.begin());
+    return cmd_timeline(path, rest);
+  }
+  if (cmd == "alerts") {
+    if (rest.size() != 1) return usage("alerts takes exactly one manifest");
+    return cmd_alerts(rest[0]);
+  }
   if (cmd == "diff") return cmd_diff(rest);
-  return usage();
+  return usage("unknown subcommand '" + cmd + "'");
 }

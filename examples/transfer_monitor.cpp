@@ -14,6 +14,7 @@
 
 #include "esg/client.hpp"
 #include "esg/testbed.hpp"
+#include "obs/alert.hpp"
 #include "obs/export.hpp"
 
 using namespace esg;
@@ -64,6 +65,25 @@ int main() {
   options.reliability.retry_backoff = 2 * kSecond;
   options.poll_interval = kSecond;
 
+  // Streaming telemetry + online alerting: the pane below each frame shows
+  // burn-rate pages (failed attempts burning the 99% success budget) and
+  // goodput anomalies as they fire — Fig 4 grown a during-run watchdog.
+  obs::BurnRateRule burn;
+  burn.name = "transfer-failure-burn";
+  burn.bad_metric = "gridftp_transfers_failed_total";
+  burn.good_metric = "gridftp_transfers_started_total";
+  burn.objective = 0.99;
+  burn.threshold = 2.0;
+  burn.long_window = 20 * kSecond;
+  burn.short_window = 5 * kSecond;
+  testbed.simulation().alerts().add(burn);
+  obs::AnomalyRule cliff;
+  cliff.name = "goodput-cliff";
+  cliff.metric = "gridftp_channel_bytes_total";
+  cliff.rate_window = 5 * kSecond;
+  testbed.simulation().alerts().add(cliff);
+  testbed.simulation().start_telemetry(kSecond);
+
   bool done = false;
   rm::RequestResult result;
   testbed.request_manager().submit(files, options, [&](rm::RequestResult r) {
@@ -97,6 +117,9 @@ int main() {
     std::printf("\n%s",
                 testbed.monitor().render(testbed.simulation().now(),
                                          snap).c_str());
+    std::printf("%s",
+                testbed.simulation().alerts().render(
+                    testbed.simulation().now()).c_str());
     if (testbed.simulation().pending_events() == 0) break;
   }
 

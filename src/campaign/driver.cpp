@@ -166,6 +166,10 @@ void CampaignDriver::task_finished(SiteQueue& sq, std::uint32_t file_index,
     }
     manifest_.record(std::move(t));
     sim_.metrics()
+        .histogram("campaign_file_seconds", obs::duration_boundaries(),
+                   {{"site", sq.endpoint.site}})
+        .observe(common::to_seconds(result.finished - result.started));
+    sim_.metrics()
         .counter("campaign_files_completed_total",
                  {{"site", sq.endpoint.site}})
         .add();

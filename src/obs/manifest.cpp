@@ -86,6 +86,99 @@ MetricsSnapshot snapshot_from_json(const json::Value& v) {
   return snap;
 }
 
+std::string labels_to_json(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(labels[i].first) + "\":\"" +
+           json_escape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Labels labels_from_json(const json::Value& v, const char* key) {
+  Labels out;
+  if (const json::Value* labels = v.find(key); labels != nullptr) {
+    for (const auto& [k, lv] : labels->as_object()) {
+      if (lv.is_string()) out.emplace_back(k, lv.as_string());
+    }
+  }
+  return out;
+}
+
+std::string alert_to_json(const AlertRecord& a) {
+  std::string out = "{\"rule\":\"" + json_escape(a.rule) + "\",\"kind\":\"" +
+                    alert_kind_name(a.kind) + "\",\"metric\":\"" +
+                    json_escape(a.metric) + "\",\"fired_at_ns\":" +
+                    std::to_string(a.fired_at) + ",\"resolved\":" +
+                    (a.resolved ? "true" : "false");
+  if (a.resolved) {
+    out += ",\"resolved_at_ns\":" + std::to_string(a.resolved_at);
+  }
+  out += ",\"value\":" + fmt_double(a.value) +
+         ",\"threshold\":" + fmt_double(a.threshold) + "}";
+  return out;
+}
+
+AlertRecord alert_from_json(const json::Value& v) {
+  AlertRecord a;
+  a.rule = v.string_or("rule", "");
+  a.kind = v.string_or("kind", "burn_rate") == "anomaly" ? AlertKind::anomaly
+                                                         : AlertKind::burn_rate;
+  a.metric = v.string_or("metric", "");
+  a.fired_at = static_cast<common::SimTime>(v.number_or("fired_at_ns", 0));
+  if (const json::Value* r = v.find("resolved"); r != nullptr) {
+    a.resolved = r->as_bool();
+  }
+  a.resolved_at =
+      static_cast<common::SimTime>(v.number_or("resolved_at_ns", 0));
+  a.value = v.number_or("value", 0);
+  a.threshold = v.number_or("threshold", 0);
+  return a;
+}
+
+std::string series_to_json(const SeriesSummary& s) {
+  std::string out = "{\"name\":\"" + json_escape(s.name) +
+                    "\",\"labels\":" + labels_to_json(s.labels) +
+                    ",\"samples\":" + std::to_string(s.samples) +
+                    ",\"min\":" + fmt_double(s.min) +
+                    ",\"max\":" + fmt_double(s.max) +
+                    ",\"sum\":" + fmt_double(s.sum) + ",\"points\":[";
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    const RollupPoint& p = s.points[i];
+    if (i) out += ",";
+    out += "{\"start_ns\":" + std::to_string(p.start) +
+           ",\"min\":" + fmt_double(p.min) + ",\"max\":" + fmt_double(p.max) +
+           ",\"sum\":" + fmt_double(p.sum) +
+           ",\"count\":" + std::to_string(p.count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+SeriesSummary series_from_json(const json::Value& v) {
+  SeriesSummary s;
+  s.name = v.string_or("name", "");
+  s.labels = labels_from_json(v, "labels");
+  s.samples = static_cast<std::uint64_t>(v.number_or("samples", 0));
+  s.min = v.number_or("min", 0);
+  s.max = v.number_or("max", 0);
+  s.sum = v.number_or("sum", 0);
+  if (const json::Value* points = v.find("points"); points != nullptr) {
+    for (const auto& pv : points->as_array()) {
+      RollupPoint p;
+      p.start = static_cast<common::SimTime>(pv.number_or("start_ns", 0));
+      p.min = pv.number_or("min", 0);
+      p.max = pv.number_or("max", 0);
+      p.sum = pv.number_or("sum", 0);
+      p.count = static_cast<std::uint64_t>(pv.number_or("count", 0));
+      s.points.push_back(p);
+    }
+  }
+  return s;
+}
+
 }  // namespace
 
 void RunManifest::set_bench(std::string bench_name, double value) {
@@ -121,6 +214,16 @@ std::string RunManifest::to_json() const {
     out += "{\"name\":\"" + json_escape(bench[i].name) +
            "\",\"value\":" + fmt_double(bench[i].value) + "}";
   }
+  out += "\n],\n\"alerts\":[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += alert_to_json(alerts[i]);
+  }
+  out += "\n],\n\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += series_to_json(series[i]);
+  }
   out += "\n],\n\"events\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     out += i ? ",\n  " : "\n  ";
@@ -153,6 +256,16 @@ Result<RunManifest> RunManifest::from_json(std::string_view text) {
           {bv.string_or("name", ""), bv.number_or("value", 0)});
     }
   }
+  if (const json::Value* alerts = v.find("alerts"); alerts != nullptr) {
+    for (const auto& av : alerts->as_array()) {
+      m.alerts.push_back(alert_from_json(av));
+    }
+  }
+  if (const json::Value* series = v.find("series"); series != nullptr) {
+    for (const auto& sv : series->as_array()) {
+      m.series.push_back(series_from_json(sv));
+    }
+  }
   if (const json::Value* events = v.find("events"); events != nullptr) {
     for (const auto& ev : events->as_array()) {
       m.events.push_back(event_from_json(ev));
@@ -180,6 +293,42 @@ RunManifest capture_manifest(std::string name, std::uint64_t seed,
   m.events.assign(recorder.events().begin(), recorder.events().end());
   m.metrics = std::move(snapshot);
   return m;
+}
+
+void attach_telemetry(RunManifest& manifest, const TimeSeriesStore& store,
+                      const AlertEngine& alerts,
+                      const std::vector<std::string>& include,
+                      std::size_t max_points) {
+  manifest.alerts = alerts.history();
+  manifest.series.clear();
+  store.for_each([&](const std::string& name, const Labels& labels,
+                     const TimeSeries& s) {
+    if (!include.empty()) {
+      bool keep = false;
+      for (const auto& needle : include) {
+        if (name.find(needle) != std::string::npos) {
+          keep = true;
+          break;
+        }
+      }
+      if (!keep) return;
+    }
+    SeriesSummary sum;
+    sum.name = name;
+    sum.labels = labels;
+    sum.samples = s.samples();
+    sum.min = s.life_min();
+    sum.max = s.life_max();
+    sum.sum = s.life_sum();
+    // Coarse rollups give the longest horizon per point; keep the newest.
+    std::vector<RollupPoint> points = s.coarse();
+    if (points.size() > max_points) {
+      points.erase(points.begin(),
+                   points.end() - static_cast<std::ptrdiff_t>(max_points));
+    }
+    sum.points = std::move(points);
+    manifest.series.push_back(std::move(sum));
+  });
 }
 
 Result<RunManifest> load_manifest(const std::string& path) {

@@ -18,14 +18,28 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "obs/alert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
 
 namespace esg::obs {
 
 struct BenchValue {
   std::string name;
   double value = 0.0;
+};
+
+/// One telemetry series condensed for the manifest: whole-life aggregates
+/// plus the retained coarse rollup points (bounded — the rings are fixed).
+struct SeriesSummary {
+  std::string name;
+  Labels labels;
+  std::uint64_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::vector<RollupPoint> points;
 };
 
 struct RunManifest {
@@ -39,6 +53,12 @@ struct RunManifest {
   std::vector<FlightEvent> events;  // the retained ring, oldest first
   MetricsSnapshot metrics;
   std::vector<BenchValue> bench;  // headline numbers (goodput, counts, ...)
+  /// Streaming-telemetry payload (attach_telemetry): the alert timeline in
+  /// fire order and condensed per-series history.  Both serialize
+  /// deterministically and round-trip, so `esg-report timeline/alerts` and
+  /// the bench gate work offline — and drift in alert firing is diffable.
+  std::vector<AlertRecord> alerts;
+  std::vector<SeriesSummary> series;
 
   void set_bench(std::string bench_name, double value);
   double bench_or(std::string_view bench_name, double fallback) const;
@@ -55,6 +75,15 @@ RunManifest capture_manifest(std::string name, std::uint64_t seed,
                              std::uint64_t timeline_hash,
                              const FlightRecorder& recorder,
                              MetricsSnapshot snapshot);
+
+/// Fill manifest.alerts and manifest.series from a live telemetry store and
+/// alert engine.  `include` filters series by name substring (empty = keep
+/// every series); each summary retains at most `max_points` of the newest
+/// coarse rollup points so manifests stay diff-friendly.
+void attach_telemetry(RunManifest& manifest, const TimeSeriesStore& store,
+                      const AlertEngine& alerts,
+                      const std::vector<std::string>& include = {},
+                      std::size_t max_points = 16);
 
 /// Convenience: read + parse a manifest file.
 common::Result<RunManifest> load_manifest(const std::string& path);

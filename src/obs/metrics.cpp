@@ -39,6 +39,31 @@ double histogram_quantile(const std::vector<double>& boundaries,
   for (const std::uint64_t b : buckets) count += b;
   if (count == 0 || buckets.empty()) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
+  // The extreme quantiles clamp to the observed bucket bounds, computed with
+  // integer bucket scans rather than rank interpolation: p=0 is the lower
+  // edge of the lowest non-empty bucket, p=1 the upper edge of the highest
+  // one (the overflow bucket clamps both to the last finite boundary).
+  // Interpolating at these ranks is fragile — `p * count` rounds in floating
+  // point for large counts, and a rank of exactly 0 used to extrapolate
+  // down the first occupied bucket regardless of where its mass sits.
+  if (p <= 0.0) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      if (i >= boundaries.size()) break;  // only overflow occupied
+      if (i > 0) return boundaries[i - 1];
+      return boundaries[0] > 0.0 ? 0.0 : boundaries[0];
+    }
+    return boundaries.empty() ? 0.0 : boundaries.back();
+  }
+  if (p >= 1.0) {
+    if (buckets.size() > boundaries.size() && buckets[boundaries.size()] > 0) {
+      return boundaries.empty() ? 0.0 : boundaries.back();  // max in overflow
+    }
+    for (std::size_t i = std::min(buckets.size(), boundaries.size()); i-- > 0;) {
+      if (buckets[i] > 0) return boundaries[i];
+    }
+    return boundaries.empty() ? 0.0 : boundaries.back();
+  }
   const double rank = p * static_cast<double>(count);
   double cumulative = 0.0;
   for (std::size_t i = 0; i < boundaries.size() && i < buckets.size(); ++i) {

@@ -72,7 +72,10 @@ class Gauge {
 /// holding rank p*count and interpolates linearly inside it (Prometheus
 /// `histogram_quantile` semantics).  The first bucket's lower edge is 0 for
 /// positive boundaries; ranks landing in the overflow bucket clamp to the
-/// last boundary.  An empty histogram yields 0.
+/// last boundary.  p <= 0 and p >= 1 clamp exactly to the lower/upper edge
+/// of the lowest/highest non-empty bucket (no rank interpolation, so large
+/// counts cannot round the extreme quantiles into a neighbouring bucket).
+/// An empty histogram yields 0.
 double histogram_quantile(const std::vector<double>& boundaries,
                           const std::vector<std::uint64_t>& buckets,
                           double p);

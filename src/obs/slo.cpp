@@ -361,6 +361,47 @@ DriftReport diff_manifests(const RunManifest& baseline,
           {"bench:" + c.name, 0.0, c.value, 1.0, "missing in baseline"});
     }
   }
+  // Alert timeline: exact, positional.  Which rule fired, in what order, at
+  // which sim-times — any drift means the run's failure story changed, which
+  // is precisely what the gate exists to catch.
+  const std::size_t alert_count =
+      std::max(baseline.alerts.size(), current.alerts.size());
+  for (std::size_t i = 0; i < alert_count; ++i) {
+    ++report.series_compared;
+    const std::string key = "alert[" + std::to_string(i) + "]";
+    if (i >= current.alerts.size()) {
+      report.drifts.push_back({key + ":" + baseline.alerts[i].rule, 0.0, 0.0,
+                               1.0, "missing in current"});
+      continue;
+    }
+    if (i >= baseline.alerts.size()) {
+      report.drifts.push_back({key + ":" + current.alerts[i].rule, 0.0, 0.0,
+                               1.0, "missing in baseline"});
+      continue;
+    }
+    const AlertRecord& b = baseline.alerts[i];
+    const AlertRecord& c = current.alerts[i];
+    if (b.rule != c.rule || b.kind != c.kind) {
+      report.drifts.push_back(
+          {key, 0.0, 0.0, 1.0, b.rule + " -> " + c.rule});
+      continue;
+    }
+    if (b.fired_at != c.fired_at) {
+      report.drifts.push_back({key + ":" + b.rule + " fired_at",
+                               common::to_seconds(b.fired_at),
+                               common::to_seconds(c.fired_at), 1.0,
+                               "alert timeline differs"});
+    }
+    if (b.resolved != c.resolved ||
+        (b.resolved && b.resolved_at != c.resolved_at)) {
+      report.drifts.push_back({key + ":" + b.rule + " resolved_at",
+                               b.resolved ? common::to_seconds(b.resolved_at)
+                                          : -1.0,
+                               c.resolved ? common::to_seconds(c.resolved_at)
+                                          : -1.0,
+                               1.0, "alert timeline differs"});
+    }
+  }
   return report;
 }
 

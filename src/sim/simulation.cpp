@@ -49,6 +49,29 @@ EventHandle Simulation::schedule_every(SimDuration period,
   return EventHandle(std::move(alive), cancelled_);
 }
 
+EventHandle Simulation::start_telemetry(SimDuration period) {
+  assert(period > 0);
+  telemetry_.sample_registry(metrics_, now_);
+  alerts_.evaluate(now_);
+  auto alive = std::make_shared<bool>(true);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, alive, tick] {
+    if (!*alive) return;
+    telemetry_.sample_registry(metrics_, now_);
+    alerts_.evaluate(now_);
+    // Re-arm only while the workload is still alive: when this tick was
+    // the last event in the queue the run is over, and a self-perpetuating
+    // sampler would keep run() from ever returning.
+    if (!queue_.empty()) {
+      push_event(Event{now_ + period, next_seq_++, *tick, alive});
+    } else {
+      *alive = false;
+    }
+  };
+  push_event(Event{now_ + period, next_seq_++, *tick, alive});
+  return EventHandle(std::move(alive), cancelled_);
+}
+
 bool Simulation::step() {
   while (!queue_.empty()) {
     std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});

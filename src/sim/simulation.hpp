@@ -22,8 +22,10 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/alert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace esg::sim {
@@ -107,6 +109,18 @@ class Simulation {
   const obs::Tracer& tracer() const { return tracer_; }
   obs::FlightRecorder& flight_recorder() { return recorder_; }
   const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+  obs::TimeSeriesStore& telemetry() { return telemetry_; }
+  const obs::TimeSeriesStore& telemetry() const { return telemetry_; }
+  obs::AlertEngine& alerts() { return alerts_; }
+  const obs::AlertEngine& alerts() const { return alerts_; }
+
+  /// Start streaming telemetry: every `period` the metrics registry is
+  /// sampled into telemetry() and alerts() evaluates its rules — so every
+  /// instrumented subsystem emits history, and alerts fire *during* the
+  /// run, with zero call-site changes.  The tick samples once immediately,
+  /// then re-arms only while other events are pending, so a drained
+  /// workload still terminates run().  Cancel the handle to stop early.
+  EventHandle start_telemetry(SimDuration period = common::kSecond);
 
  private:
   struct Event {
@@ -147,6 +161,8 @@ class Simulation {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{[this] { return now_; }};
   obs::FlightRecorder recorder_{[this] { return now_; }};
+  obs::TimeSeriesStore telemetry_;
+  obs::AlertEngine alerts_{telemetry_, &recorder_};
 
   static constexpr std::size_t kPurgeMinQueue = 64;
 };

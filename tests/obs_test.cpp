@@ -141,6 +141,43 @@ TEST(HistogramQuantile, OverflowRanksClampToTheLastBoundary) {
   EXPECT_DOUBLE_EQ(m.quantile(0.99), 2.0);
 }
 
+TEST(HistogramQuantile, ExtremeQuantilesClampToOccupiedBucketBounds) {
+  // p=0 is the lower edge of the lowest non-empty bucket, p=1 the upper
+  // edge of the highest — never a neighbouring empty bucket's edge.
+  eo::Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.observe(1.5);  // (1,2]
+  h.observe(3.0);  // (2,4]
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // Mass in the first bucket: p=0 clamps to its lower edge, zero.
+  eo::Histogram first({10.0, 20.0});
+  first.observe(5.0);
+  EXPECT_DOUBLE_EQ(first.quantile(0.0), 0.0);
+  // Max in the overflow bucket: p=1 clamps to the last finite boundary
+  // even when lower finite buckets are occupied.
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile({1.0, 2.0}, {3, 0, 5}, 1.0), 2.0);
+  // Everything in the overflow bucket: both extremes clamp to the edge.
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile({1.0, 2.0}, {0, 0, 7}, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile({1.0, 2.0}, {0, 0, 7}, 1.0), 2.0);
+  // Out-of-range p clamps into [0, 1] rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 4.0);
+}
+
+TEST(HistogramQuantile, ExtremeQuantilesAreExactForHugeCounts) {
+  // Rank interpolation computes p*count in floating point; at counts near
+  // 2^53 the extreme ranks round and used to escape the occupied buckets.
+  // The clamped paths are pure integer scans, so they stay exact.
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::uint64_t big = (1ull << 53) + 1;
+  // Observed max sits in (1,2], yet the rank never "reaches" it once the
+  // cumulative count rounds — interpolation used to fall through to the
+  // last boundary (4.0), past every occupied bucket.
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile(bounds, {big, 1, 0, 0}, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile(bounds, {0, big, 1, 0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(eo::histogram_quantile(bounds, {1, big, 0, 0}, 0.0), 0.0);
+}
+
 TEST(HistogramQuantile, SnapshotEntryQuantileMatchesLiveHistogram) {
   eo::MetricsRegistry reg;
   auto& h = reg.histogram("stage_wait", {1.0, 2.0, 4.0});
