@@ -1,0 +1,248 @@
+// esg-explore: the fault-interleaving explorer's command line (DESIGN.md
+// §12).
+//
+//   esg-explore sweep  [--budget N] [--seed N] [--corpus DIR] [--stride N]
+//                      [--campaign] [--quiet]
+//   esg-explore replay (SCHEDULE.json | --inline JSON) [--campaign]
+//   esg-explore shrink (SCHEDULE.json | --inline JSON) [--out DIR]
+//                      [--max-runs N]
+//   esg-explore corpus DIR
+//
+// `sweep` enumerates fault schedules over the canonical world (singles ×
+// timing grid, ordered pairs, seeded random fill) and checks the invariant
+// suite on each; violations print a full repro (schedule JSON + replay
+// command) and, with --corpus, are shrunk and saved as regression seeds.
+// `replay` re-runs one schedule — the file form takes a corpus seed, the
+// --inline form takes the exact JSON a violation message printed — with
+// the deterministic-replay invariant always on.  `shrink` minimizes a
+// violating schedule via delta debugging.  `corpus` replays every checked
+// -in seed and expects the whole suite to hold.
+//
+// Exit codes follow esg-report: 0 clean, 1 invariant findings, 2 usage or
+// unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/explore/explorer.hpp"
+
+namespace {
+
+using namespace esg;
+
+const char kUsage[] =
+    "usage:\n"
+    "  esg-explore sweep  [--budget N] [--seed N] [--corpus DIR]\n"
+    "                     [--stride N] [--campaign] [--quiet]\n"
+    "  esg-explore replay (SCHEDULE.json | --inline JSON) [--campaign]\n"
+    "  esg-explore shrink (SCHEDULE.json | --inline JSON) [--out DIR]\n"
+    "                     [--max-runs N]\n"
+    "  esg-explore corpus DIR\n";
+
+int usage(const std::string& error) {
+  if (!error.empty()) {
+    std::fprintf(stderr, "esg-explore: %s\n", error.c_str());
+  }
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+/// Parse the (SCHEDULE.json | --inline JSON) operand shared by replay and
+/// shrink.  Exits 2 on unreadable/unparsable input.
+explore::FaultSchedule load_schedule(const std::vector<std::string>& args,
+                                     std::size_t& i) {
+  std::string text;
+  std::string origin;
+  if (args[i] == "--inline") {
+    if (i + 1 >= args.size()) {
+      std::exit(usage("--inline needs the schedule JSON"));
+    }
+    origin = "--inline";
+    text = args[++i];
+  } else {
+    origin = args[i];
+    auto file = obs::read_file(args[i]);
+    if (!file) {
+      std::fprintf(stderr, "esg-explore: %s: %s\n", origin.c_str(),
+                   file.error().to_string().c_str());
+      std::exit(2);
+    }
+    text = file.value();
+  }
+  ++i;
+  auto sched = explore::FaultSchedule::from_json(text);
+  if (!sched) {
+    std::fprintf(stderr, "esg-explore: %s: %s\n", origin.c_str(),
+                 sched.error().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(sched.value());
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  explore::SweepConfig config;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) std::exit(usage(a + " needs a value"));
+      return args[++i];
+    };
+    if (a == "--budget") {
+      config.enumeration.budget = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--seed") {
+      config.enumeration.sim_seed =
+          std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--corpus") {
+      config.corpus_dir = next();
+    } else if (a == "--stride") {
+      config.determinism_stride =
+          std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--campaign") {
+      config.world.workload = explore::Workload::campaign;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      return usage("unknown sweep option '" + a + "'");
+    }
+  }
+  if (!quiet) {
+    config.progress = [](const std::string& line) {
+      std::printf("  %s\n", line.c_str());
+    };
+  }
+
+  const auto summary = explore::run_sweep(config);
+  std::printf(
+      "sweep: %zu schedules, %zu invariants checked, %zu violation(s), "
+      "%zu seed(s) written\n",
+      summary.schedules_run, summary.invariants_checked, summary.violations,
+      summary.seeds_written);
+  std::printf("schedules_hash=%016llx outcome_digest=%016llx\n",
+              static_cast<unsigned long long>(summary.schedules_hash),
+              static_cast<unsigned long long>(summary.outcome_digest));
+  for (const auto& line : summary.violation_log) {
+    std::fputs(line.c_str(), stdout);
+  }
+  return summary.violations == 0 ? 0 : 1;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.empty()) return usage("replay needs a schedule");
+  std::size_t i = 0;
+  const auto schedule = load_schedule(args, i);
+  explore::InvariantOptions opts;
+  opts.check_determinism = true;
+  for (; i < args.size(); ++i) {
+    if (args[i] == "--campaign") {
+      opts.world.workload = explore::Workload::campaign;
+    } else {
+      return usage("unknown replay option '" + args[i] + "'");
+    }
+  }
+
+  const auto result = explore::check_schedule(schedule, opts);
+  std::printf(
+      "schedule %s: %zu fault(s), %d invariant(s) checked, "
+      "completed %d/%d\n",
+      schedule.hash_hex().c_str(), schedule.faults.size(),
+      result.invariants_checked, result.run.completed,
+      result.run.files_requested);
+  if (result.violations.empty()) {
+    std::printf("all invariants hold\n");
+    return 0;
+  }
+  for (const auto& v : result.violations) {
+    std::fputs(v.render().c_str(), stdout);
+  }
+  return 1;
+}
+
+int cmd_shrink(const std::vector<std::string>& args) {
+  if (args.empty()) return usage("shrink needs a schedule");
+  std::size_t i = 0;
+  const auto schedule = load_schedule(args, i);
+  std::string out_dir;
+  explore::ShrinkOptions shrink;
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) std::exit(usage(a + " needs a value"));
+      return args[++i];
+    };
+    if (a == "--out") {
+      out_dir = next();
+    } else if (a == "--max-runs") {
+      shrink.max_runs = std::atoi(next().c_str());
+    } else {
+      return usage("unknown shrink option '" + a + "'");
+    }
+  }
+
+  // Pin the oracle to the first invariant the input violates, so the
+  // minimal schedule reproduces that failure class.
+  explore::InvariantOptions opts;
+  auto first = explore::check_schedule(schedule, opts);
+  if (first.violations.empty()) {
+    std::printf("schedule %s violates no invariant; nothing to shrink\n",
+                schedule.hash_hex().c_str());
+    return 0;
+  }
+  const std::string invariant = first.violations.front().invariant;
+  explore::Oracle oracle = [&](const explore::FaultSchedule& candidate) {
+    auto check = explore::check_schedule(candidate, opts);
+    for (const auto& v : check.violations) {
+      if (v.invariant == invariant) return true;
+    }
+    return false;
+  };
+
+  const auto result = explore::shrink_schedule(schedule, oracle, shrink);
+  std::printf("shrunk %zu -> %zu fault(s) in %d oracle run(s) [%s]\n",
+              result.original_faults, result.minimal.faults.size(),
+              result.oracle_runs, invariant.c_str());
+  std::printf("%s\n", result.minimal.to_json().c_str());
+  std::printf("replay: %s\n",
+              explore::replay_command(result.minimal).c_str());
+  if (!out_dir.empty()) {
+    auto saved = explore::save_seed(out_dir, result.minimal);
+    if (!saved) {
+      std::fprintf(stderr, "esg-explore: %s\n",
+                   saved.error().to_string().c_str());
+      return 2;
+    }
+    std::printf("seed saved: %s\n", saved.value().c_str());
+  }
+  return 1;  // the input did violate — same convention as replay
+}
+
+int cmd_corpus(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage("corpus needs exactly one directory");
+  auto replay = explore::replay_corpus(args[0]);
+  if (!replay) {
+    std::fprintf(stderr, "esg-explore: %s\n",
+                 replay.error().to_string().c_str());
+    return 2;
+  }
+  std::printf("corpus %s: %zu seed(s), %zu failing\n", args[0].c_str(),
+              replay.value().seeds, replay.value().failed);
+  for (const auto& v : replay.value().violations) {
+    std::fputs(v.render().c_str(), stdout);
+  }
+  return replay.value().failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage("missing subcommand");
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "shrink") return cmd_shrink(args);
+  if (cmd == "corpus") return cmd_corpus(args);
+  return usage("unknown subcommand '" + cmd + "'");
+}

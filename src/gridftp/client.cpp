@@ -53,6 +53,11 @@ struct GridFtpClient::Op : TransferHandle,
     finished = true;
     span.set_attr("status", "aborted");
     span.end();
+    // No completion will ever be delivered; drop the callbacks so their
+    // captures (typically the retry layer, which in turn holds this op)
+    // don't form a reference cycle.
+    done_cb = nullptr;
+    progress = nullptr;
   }
   Bytes delivered() const override {
     if (tcp && tcp->active()) return tcp->delivered();
@@ -83,7 +88,12 @@ struct GridFtpClient::Op : TransferHandle,
       }
       client->warm_channels_.erase(key);
     }
-    if (done_cb) done_cb(std::move(result));
+    // Terminal: move the completion out and drop both callbacks so the op
+    // doesn't keep its owner alive through their captures.
+    auto done = std::move(done_cb);
+    done_cb = nullptr;
+    progress = nullptr;
+    if (done) done(std::move(result));
   }
 
   void succeed() {
@@ -121,7 +131,10 @@ struct GridFtpClient::Op : TransferHandle,
     span.end();
     client->warm_channels_[server_key()] =
         WarmChannel{sim().now(), options.parallelism};
-    if (done_cb) done_cb(std::move(result));
+    auto done = std::move(done_cb);
+    done_cb = nullptr;
+    progress = nullptr;
+    if (done) done(std::move(result));
   }
 
   /// The host whose control/data channels we cache for this op.

@@ -257,6 +257,7 @@ void ReliableGet::finish(Status status) {
   result_.status = std::move(status);
   result_.finished = client_.simulation().now();
   result_.total_bytes = offset_;
+  progress_ = nullptr;  // may capture the owner; the op no longer needs it
   auto done = std::move(done_);
   auto self = std::move(self_);  // drop keep-alive after the callback returns
   if (done) done(std::move(result_));

@@ -146,6 +146,10 @@ Bytes TcpTransfer::cancel() {
     span_.set_attr("status", "cancelled");
   }
   span_.end();
+  // Terminal: release the callbacks so anything they capture (often the
+  // owning transfer op, via shared_ptr) is not pinned by this object.
+  callbacks_.on_progress = nullptr;
+  callbacks_.on_complete = nullptr;
   return delivered_snapshot_;
 }
 
@@ -165,6 +169,7 @@ void TcpTransfer::finish(Status status) {
   span_.set_attr("status", status.ok() ? "ok"
                                        : status.error().to_string());
   span_.end();
+  callbacks_.on_progress = nullptr;
   if (callbacks_.on_complete) {
     // The callback may destroy this object; move it out first.
     auto cb = std::move(callbacks_.on_complete);

@@ -157,4 +157,11 @@ int ReplicaHealthRegistry::consecutive_failures(
   return it == entries_.end() ? 0 : it->second.failures;
 }
 
+std::vector<std::string> ReplicaHealthRegistry::hosts() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [host, entry] : entries_) out.push_back(host);
+  return out;  // std::map iteration is already sorted
+}
+
 }  // namespace esg::rm

@@ -31,6 +31,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
@@ -71,6 +72,11 @@ class ReplicaHealthRegistry {
   BreakerState state(const std::string& host) const;
   int consecutive_failures(const std::string& host) const;
   const BreakerConfig& config() const { return config_; }
+
+  /// Every host the registry has seen an attempt or outcome for, sorted —
+  /// lets an invariant harness assert "all breakers re-closed" without
+  /// knowing the topology.
+  std::vector<std::string> hosts() const;
 
  private:
   struct Entry {

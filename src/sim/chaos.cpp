@@ -30,8 +30,34 @@ const char* fault_kind_name(FaultKind kind) {
   return "unknown";
 }
 
+common::Result<FaultKind> parse_fault_kind(std::string_view name) {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return common::make_error(common::Errc::invalid_argument,
+                            "unknown fault kind '" + std::string(name) + "'");
+}
+
+void normalize_fault(FaultEvent& event) {
+  if (event.start < 0) event.start = 0;
+  if (event.duration < 0) event.duration = 0;
+  if (!fault_kind_durable(event.kind)) event.duration = 0;
+  if (event.magnitude == 0.0) event.magnitude = 0.0;  // -0.0 -> +0.0
+}
+
 FaultInjector& FaultInjector::add(FaultEvent event) {
+  normalize_fault(event);
   plan_.push_back(std::move(event));
+  return *this;
+}
+
+FaultInjector& FaultInjector::clamp_to(SimTime horizon) {
+  if (horizon < 0) horizon = 0;
+  for (auto& e : plan_) {
+    if (e.start > horizon) e.start = horizon;
+    if (e.duration > horizon - e.start) e.duration = horizon - e.start;
+  }
   return *this;
 }
 
@@ -50,6 +76,7 @@ void FaultInjector::generate_kind(FaultKind kind, const FaultProfile& profile,
                      static_cast<double>(profile.max_duration)));
     e.magnitude = rng_.uniform(profile.min_magnitude, profile.max_magnitude);
     e.description = std::string(fault_kind_name(kind)) + " on " + e.target;
+    normalize_fault(e);
     plan_.push_back(std::move(e));
     t += rng_.exponential(mean);
   }
@@ -99,9 +126,12 @@ void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
     auto* injected =
         &metrics.counter("chaos_faults_injected_total",
                          {{"kind", fault_kind_name(e.kind)}});
+    // Windows already in the past clamp to now(): begin fires immediately
+    // and, because begin is scheduled before end, still strictly first.
+    const SimTime begin_at = std::max(e.start, simulation.now());
     simulation.schedule_at(
-        e.start, [e, key, stem, depth, shared_hooks, hook, injected,
-                  active_gauge, recorder] {
+        begin_at, [e, key, stem, depth, shared_hooks, hook, injected,
+                   active_gauge, recorder] {
           injected->add();
           active_gauge->add(1.0);
           recorder->record("chaos", stem + ".begin", e.target,
@@ -112,7 +142,7 @@ void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
           }
         });
     simulation.schedule_at(
-        e.start + e.duration,
+        std::max(e.start + e.duration, begin_at),
         [e, key, stem, depth, shared_hooks, hook, active_gauge, recorder] {
           active_gauge->add(-1.0);
           recorder->record("chaos", stem + ".end", e.target);
@@ -133,12 +163,14 @@ void FaultInjector::arm(Simulation& simulation, FaultHooks hooks) const {
       case FaultKind::corruption: {
         auto* injected = &metrics.counter("chaos_faults_injected_total",
                                           {{"kind", "corruption"}});
-        simulation.schedule_at(e.start, [e, shared_hooks, injected, recorder] {
-          injected->add();
-          recorder->record("chaos", "fault.corruption", e.target,
-                           {{"description", e.description}});
-          if (shared_hooks->corruption) shared_hooks->corruption(e);
-        });
+        simulation.schedule_at(
+            std::max(e.start, simulation.now()),
+            [e, shared_hooks, injected, recorder] {
+              injected->add();
+              recorder->record("chaos", "fault.corruption", e.target,
+                               {{"description", e.description}});
+              if (shared_hooks->corruption) shared_hooks->corruption(e);
+            });
         break;
       }
     }

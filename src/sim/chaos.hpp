@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "sim/simulation.hpp"
 
@@ -34,7 +36,16 @@ enum class FaultKind {
   corruption,     // payload bytes flipped in flight (instantaneous)
 };
 
+inline constexpr int kFaultKindCount = 5;
+
 const char* fault_kind_name(FaultKind kind);
+/// Inverse of fault_kind_name (used by serialized fault schedules).
+common::Result<FaultKind> parse_fault_kind(std::string_view name);
+/// Durable kinds hold a [start, start+duration) window; corruption fires
+/// once at its start time.
+inline bool fault_kind_durable(FaultKind kind) {
+  return kind != FaultKind::corruption;
+}
 
 struct FaultEvent {
   FaultKind kind = FaultKind::brownout;
@@ -77,11 +88,17 @@ struct ChaosProfile {
   FaultProfile corruption;
 };
 
+/// Canonicalize one event in place: negative starts/durations clamp to 0,
+/// a -0.0 magnitude becomes +0.0 (so timeline_hash() is stable for plans
+/// that are equal as fault windows), and corruption durations are zeroed.
+/// add() and generate() apply this to everything entering a plan.
+void normalize_fault(FaultEvent& event);
+
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
 
-  /// Script an explicit fault.
+  /// Script an explicit fault (normalized; see normalize_fault).
   FaultInjector& add(FaultEvent event);
 
   /// Draw a randomized fault plan over [0, horizon) from the profile.  The
@@ -90,13 +107,22 @@ class FaultInjector {
 
   const std::vector<FaultEvent>& plan() const { return plan_; }
 
+  /// Clamp every planned window to [0, horizon]: starts past the horizon
+  /// snap to it and durations truncate so no window extends beyond it.  A
+  /// window collapsed to zero length stays in the plan (it still counts,
+  /// hashes, and fires begin-then-end at one instant) rather than being
+  /// silently dropped — schedule enumerators rely on that determinism.
+  FaultInjector& clamp_to(SimTime horizon);
+
   /// Fingerprint of the plan (kinds, targets, times, magnitudes) — two runs
   /// with the same seed must agree on it.
   std::uint64_t timeline_hash() const;
 
   /// Arm every planned fault on `simulation`.  Also records per-kind
   /// `chaos_faults_injected_total` counters and the `chaos_active_faults`
-  /// gauge in the simulation's metrics registry.
+  /// gauge in the simulation's metrics registry.  Windows already in the
+  /// simulation's past clamp to now() instead of asserting: the begin (and,
+  /// for an already-elapsed window, the end) fires immediately, in order.
   void arm(Simulation& simulation, FaultHooks hooks) const;
 
   /// True if a planned fault of `kind` covers `target` at time `t`.

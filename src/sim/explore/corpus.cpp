@@ -1,0 +1,92 @@
+#include "sim/explore/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "obs/manifest.hpp"  // write_file / read_file
+
+namespace esg::explore {
+
+namespace fs = std::filesystem;
+
+std::string seed_filename(const FaultSchedule& schedule) {
+  return "seed-" + schedule.hash_hex() + ".json";
+}
+
+common::Result<std::string> save_seed(const std::string& dir,
+                                      const FaultSchedule& schedule) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return common::make_error(common::Errc::io_error,
+                              "cannot create corpus dir '" + dir +
+                                  "': " + ec.message());
+  }
+  const std::string path = dir + "/" + seed_filename(schedule);
+  if (!obs::write_file(path, schedule.to_json() + "\n")) {
+    return common::make_error(common::Errc::io_error,
+                              "cannot write seed '" + path + "'");
+  }
+  return path;
+}
+
+common::Result<std::vector<FaultSchedule>> load_corpus(
+    const std::string& dir) {
+  std::vector<FaultSchedule> out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seed-", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return common::make_error(common::Errc::io_error,
+                              "cannot list corpus dir '" + dir +
+                                  "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    auto text = obs::read_file(path);
+    if (!text) return text.error();
+    auto sched = FaultSchedule::from_json(text.value());
+    if (!sched) {
+      return common::make_error(common::Errc::invalid_argument,
+                                "corpus seed '" + path + "': " +
+                                    sched.error().to_string());
+    }
+    if (sched.value().name.empty()) {
+      sched.value().name = fs::path(path).stem().string();
+    }
+    out.push_back(std::move(sched.value()));
+  }
+  return out;
+}
+
+common::Result<CorpusReplay> replay_corpus(const std::string& dir,
+                                           const WorldOptions& world) {
+  auto corpus = load_corpus(dir);
+  if (!corpus) return corpus.error();
+
+  CorpusReplay replay;
+  InvariantOptions opts;
+  opts.world = world;
+  opts.check_determinism = true;
+  for (const auto& seed : corpus.value()) {
+    ++replay.seeds;
+    auto result = check_schedule(seed, opts);
+    if (!result.violations.empty()) {
+      ++replay.failed;
+      replay.violations.insert(replay.violations.end(),
+                               result.violations.begin(),
+                               result.violations.end());
+    }
+  }
+  return replay;
+}
+
+}  // namespace esg::explore

@@ -1,0 +1,44 @@
+// Regression-seed corpus: violating schedules, shrunk and checked in.
+//
+// When a sweep finds an invariant violation, the shrinker minimizes the
+// schedule and save_seed() serializes it under the corpus directory as
+// `seed-<hash16>.json`.  The corpus then becomes a permanent regression
+// suite: replay_corpus() re-runs every checked-in seed through the
+// invariant harness (ctest, bench_explore and `esg-explore corpus` all
+// call it) and expects the violation to stay *fixed* — a seed that fails
+// again is a regression of a previously-shrunk bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/explore/invariants.hpp"
+
+namespace esg::explore {
+
+/// Canonical corpus file name for a schedule: "seed-<hash16>.json".
+std::string seed_filename(const FaultSchedule& schedule);
+
+/// Write `schedule` to `dir/seed_filename(schedule)`; returns the path.
+common::Result<std::string> save_seed(const std::string& dir,
+                                      const FaultSchedule& schedule);
+
+/// Load every `seed-*.json` under `dir`, sorted by file name (stable
+/// replay order).  A missing directory is an empty corpus, not an error;
+/// an unparsable seed file is an error.
+common::Result<std::vector<FaultSchedule>> load_corpus(
+    const std::string& dir);
+
+struct CorpusReplay {
+  std::size_t seeds = 0;
+  std::size_t failed = 0;  // seeds whose invariants still violate
+  std::vector<Violation> violations;
+};
+
+/// Replay every corpus seed through the invariant suite (determinism
+/// check included — seeds are few and precious).
+common::Result<CorpusReplay> replay_corpus(const std::string& dir,
+                                           const WorldOptions& world = {});
+
+}  // namespace esg::explore

@@ -1,0 +1,197 @@
+#include "sim/explore/enumerate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace esg::explore {
+
+namespace {
+
+using common::kSecond;
+
+// One realized single fault from the target space (before timing).
+struct FaultTemplate {
+  sim::FaultKind kind = sim::FaultKind::brownout;
+  std::string target;
+  double magnitude = 0.0;
+};
+
+std::vector<FaultTemplate> expand_templates(const EnumerationConfig& cfg) {
+  std::vector<FaultTemplate> out;
+  for (const auto& link : cfg.space.brownout_links) {
+    for (double m : cfg.magnitude_grid) {
+      out.push_back({sim::FaultKind::brownout, link, m});
+    }
+  }
+  for (const auto& link : cfg.space.loss_links) {
+    for (double p : cfg.loss_grid) {
+      out.push_back({sim::FaultKind::loss_spike, link, p});
+    }
+  }
+  for (const auto& host : cfg.space.crash_hosts) {
+    out.push_back({sim::FaultKind::service_crash, host, 0.0});
+  }
+  for (const auto& t : cfg.space.stall_targets) {
+    out.push_back({sim::FaultKind::stage_stall, t, 0.0});
+  }
+  for (const auto& t : cfg.space.corruption_targets) {
+    out.push_back({sim::FaultKind::corruption, t, 0.0});
+  }
+  return out;
+}
+
+sim::FaultEvent realize(const FaultTemplate& t, common::SimTime start,
+                        common::SimDuration duration) {
+  sim::FaultEvent e;
+  e.kind = t.kind;
+  e.target = t.target;
+  e.start = start;
+  e.duration = duration;
+  e.magnitude = t.magnitude;
+  e.description =
+      std::string(sim::fault_kind_name(t.kind)) + " on " + t.target;
+  sim::normalize_fault(e);
+  return e;
+}
+
+// Emitter that owns dedup + budget accounting.
+class Sink {
+ public:
+  Sink(std::size_t budget, std::uint64_t sim_seed, common::SimTime horizon)
+      : budget_(budget), sim_seed_(sim_seed), horizon_(horizon) {}
+
+  bool full() const { return out_.size() >= budget_; }
+
+  void emit(std::string name, std::vector<sim::FaultEvent> faults) {
+    if (full()) return;
+    FaultSchedule s;
+    s.name = std::move(name);
+    s.sim_seed = sim_seed_;
+    s.horizon = horizon_;
+    s.faults = std::move(faults);
+    std::stable_sort(s.faults.begin(), s.faults.end(),
+                     [](const sim::FaultEvent& a, const sim::FaultEvent& b) {
+                       return a.start < b.start;
+                     });
+    if (!seen_.insert(s.hash()).second) return;
+    out_.push_back(std::move(s));
+  }
+
+  std::vector<FaultSchedule> take() { return std::move(out_); }
+
+ private:
+  std::size_t budget_;
+  std::uint64_t sim_seed_;
+  common::SimTime horizon_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<FaultSchedule> out_;
+};
+
+}  // namespace
+
+EnumerationConfig canonical_enumeration() {
+  EnumerationConfig cfg;
+  cfg.space.brownout_links = {"client-uplink", "lbnl-uplink", "isi-uplink"};
+  cfg.space.loss_links = {"client-uplink"};
+  cfg.space.crash_hosts = {"lbnl.host", "isi.host", "hpss.lbl.gov"};
+  cfg.space.stall_targets = {"tape"};
+  cfg.space.corruption_targets = {"client"};
+  cfg.start_grid = {5 * kSecond, 25 * kSecond, 60 * kSecond};
+  cfg.duration_grid = {0, 20 * kSecond, 45 * kSecond};
+  cfg.magnitude_grid = {0.25, 0.5};
+  cfg.loss_grid = {0.003, 0.01};
+  return cfg;
+}
+
+std::vector<FaultSchedule> enumerate_schedules(
+    const EnumerationConfig& cfg) {
+  Sink sink(cfg.budget, cfg.sim_seed, cfg.horizon);
+  const auto templates = expand_templates(cfg);
+
+  // Tier 1: singles — every template at every grid timing.  Instantaneous
+  // kinds skip the duration axis (their windows are always zero-length).
+  int index = 0;
+  for (const auto& t : templates) {
+    for (common::SimTime start : cfg.start_grid) {
+      if (!sim::fault_kind_durable(t.kind)) {
+        sink.emit("single:" + std::to_string(index++),
+                  {realize(t, start, 0)});
+        continue;
+      }
+      for (common::SimDuration duration : cfg.duration_grid) {
+        sink.emit("single:" + std::to_string(index++),
+                  {realize(t, start, duration)});
+      }
+    }
+  }
+
+  // Tier 2: ordered pairs over one representative per template (first grid
+  // start, longest grid duration), staggered so the second window opens
+  // while the first is still active — then the same pair in the other
+  // order.  Both permutations matter: "crash during stall" and "stall
+  // during crash" exercise different recovery paths.
+  const common::SimTime pair_start =
+      cfg.start_grid.empty() ? 5 * kSecond : cfg.start_grid.front();
+  const common::SimDuration pair_duration =
+      cfg.duration_grid.empty()
+          ? 30 * kSecond
+          : *std::max_element(cfg.duration_grid.begin(),
+                              cfg.duration_grid.end());
+  const common::SimDuration stagger =
+      pair_duration > 0 ? pair_duration / 2 : 10 * kSecond;
+  // One representative per (kind, target): the first template for each.
+  std::vector<FaultTemplate> reps;
+  for (const auto& t : templates) {
+    const bool dup = std::any_of(reps.begin(), reps.end(),
+                                 [&](const FaultTemplate& r) {
+                                   return r.kind == t.kind &&
+                                          r.target == t.target;
+                                 });
+    if (!dup) reps.push_back(t);
+  }
+  index = 0;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      if (i == j) continue;
+      sink.emit("pair:" + std::to_string(index++),
+                {realize(reps[i], pair_start, pair_duration),
+                 realize(reps[j], pair_start + stagger, pair_duration)});
+    }
+  }
+
+  // Tier 3: seeded random multi-fault schedules snapped to the grids, until
+  // the budget is met.  The sweep seed (not the sim seed) drives the draws,
+  // so the same config always fills with the same schedules.
+  common::Rng rng(cfg.sweep_seed);
+  index = 0;
+  // Bounded attempts: dedup collisions must not loop forever when the
+  // space is smaller than the budget.
+  std::size_t attempts = 4 * cfg.budget + 64;
+  while (!sink.full() && attempts-- > 0 && !templates.empty()) {
+    const std::size_t n =
+        2 + rng.uniform_int(cfg.max_random_faults >= 2
+                                ? cfg.max_random_faults - 1
+                                : 1);
+    std::vector<sim::FaultEvent> faults;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto& t = templates[rng.uniform_int(templates.size())];
+      const common::SimTime start =
+          cfg.start_grid.empty()
+              ? 0
+              : cfg.start_grid[rng.uniform_int(cfg.start_grid.size())];
+      const common::SimDuration duration =
+          cfg.duration_grid.empty()
+              ? 0
+              : cfg.duration_grid[rng.uniform_int(cfg.duration_grid.size())];
+      faults.push_back(realize(t, start, duration));
+    }
+    sink.emit("random:" + std::to_string(index++), std::move(faults));
+  }
+
+  return sink.take();
+}
+
+}  // namespace esg::explore

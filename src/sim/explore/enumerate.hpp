@@ -1,0 +1,70 @@
+// Schedule enumeration: turn a target space and a handful of small grids
+// into a deterministic, deduplicated stream of FaultSchedules.
+//
+// The search strategy follows the systematic-testing playbook (SimGrid-style
+// state-space exploration, scaled to what a sweep can afford):
+//
+//   1. singles    — the full cross product of (kind, target, magnitude) ×
+//                   start_grid × duration_grid.  Every fault the space can
+//                   express runs at least once at every grid timing.
+//   2. pairs      — ordered pairs (both permutations) over a representative
+//                   subset of the singles, staggered so the windows overlap
+//                   and abut in both orders.  Pairwise interleavings are
+//                   where most fault-handling bugs live (breaker trips
+//                   during a brownout, crash during a tape stall, ...).
+//   3. random     — seeded multi-fault schedules (2..max_random_faults
+//                   faults, timings snapped to the grids) to fill whatever
+//                   budget remains past the systematic tiers.
+//
+// Output is stable: same config ⇒ same schedules in the same order, with
+// duplicates (by FaultSchedule::hash) removed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/explore/schedule.hpp"
+
+namespace esg::explore {
+
+/// What can be faulted, as hook-interpreted target names understood by the
+/// canonical world (see world.hpp).
+struct TargetSpace {
+  std::vector<std::string> brownout_links;
+  std::vector<std::string> loss_links;
+  std::vector<std::string> crash_hosts;
+  std::vector<std::string> stall_targets;       // tape libraries
+  std::vector<std::string> corruption_targets;  // receiving clients
+};
+
+struct EnumerationConfig {
+  TargetSpace space;
+  /// Window start times tried for every single fault.
+  std::vector<common::SimTime> start_grid;
+  /// Window durations tried for every durable single fault (0 = the
+  /// zero-length edge case the injector must survive).
+  std::vector<common::SimDuration> duration_grid;
+  /// Brownout magnitudes (remaining-capacity fractions).
+  std::vector<double> magnitude_grid;
+  /// Loss-spike probabilities.
+  std::vector<double> loss_grid;
+
+  std::uint64_t sim_seed = 1;
+  common::SimTime horizon = 150 * common::kSecond;
+
+  /// Total schedule budget (singles + pairs + random fill, after dedup).
+  std::size_t budget = 200;
+  /// Seed for the random tier (independent of sim_seed).
+  std::uint64_t sweep_seed = 0xe5611a5ULL;
+  std::size_t max_random_faults = 4;
+};
+
+/// The canonical enumeration grid for the canonical world (world.hpp) —
+/// benches, tests and the CLI all sweep the same space by default.
+EnumerationConfig canonical_enumeration();
+
+/// Enumerate up to config.budget distinct schedules, stable order.
+std::vector<FaultSchedule> enumerate_schedules(const EnumerationConfig& config);
+
+}  // namespace esg::explore

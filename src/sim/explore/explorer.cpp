@@ -1,0 +1,75 @@
+#include "sim/explore/explorer.hpp"
+
+#include "common/bytebuf.hpp"
+
+namespace esg::explore {
+
+SweepSummary run_sweep(const SweepConfig& config) {
+  SweepSummary summary;
+  summary.schedules_hash = common::fnv1a64("esg.explore.sweep.v1");
+  summary.outcome_digest = summary.schedules_hash;
+
+  const auto schedules = enumerate_schedules(config.enumeration);
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    const FaultSchedule& schedule = schedules[i];
+    InvariantOptions opts;
+    opts.world = config.world;
+    opts.check_determinism =
+        config.determinism_stride > 0 &&
+        i % config.determinism_stride == 0;
+
+    auto result = check_schedule(schedule, opts);
+    ++summary.schedules_run;
+    summary.invariants_checked +=
+        static_cast<std::size_t>(result.invariants_checked);
+    const std::uint64_t sched_hash = schedule.hash();
+    summary.schedules_hash = common::fnv1a64(
+        &sched_hash, sizeof(sched_hash), summary.schedules_hash);
+    summary.outcome_digest =
+        common::fnv1a64(&result.run.flight_digest,
+                        sizeof(result.run.flight_digest),
+                        summary.outcome_digest);
+
+    if (config.progress) {
+      config.progress(std::to_string(i + 1) + "/" +
+                      std::to_string(schedules.size()) + " " +
+                      schedule.hash_hex() +
+                      (result.violations.empty()
+                           ? " ok"
+                           : " VIOLATION: " +
+                                 result.violations.front().invariant));
+    }
+    if (result.violations.empty()) continue;
+
+    ++summary.violations;
+    for (const auto& v : result.violations) {
+      summary.violation_log.push_back(v.render());
+    }
+    if (config.corpus_dir.empty()) continue;
+
+    // Shrink against the *first* violated invariant: the minimal schedule
+    // must reproduce the same failure class, not just any failure.
+    const std::string invariant = result.violations.front().invariant;
+    Oracle oracle = [&](const FaultSchedule& candidate) {
+      auto check = check_schedule(candidate, opts);
+      for (const auto& v : check.violations) {
+        if (v.invariant == invariant) return true;
+      }
+      return false;
+    };
+    auto shrunk = shrink_schedule(schedule, oracle, config.shrink);
+    if (shrunk.reproduced) {
+      auto saved = save_seed(config.corpus_dir, shrunk.minimal);
+      if (saved) {
+        ++summary.seeds_written;
+        summary.violation_log.push_back(
+            "shrunk " + std::to_string(shrunk.original_faults) + " -> " +
+            std::to_string(shrunk.minimal.faults.size()) +
+            " fault(s), seed saved: " + saved.value() + "\n");
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace esg::explore

@@ -1,0 +1,62 @@
+// The sweep driver: enumerate schedules, check every invariant on each,
+// shrink whatever violates, and emit a deterministic summary.
+//
+// This is the tentpole entry point tying the explorer together.  One
+// run_sweep() call is one systematic exploration campaign:
+//
+//   enumerate_schedules(cfg)  →  check_schedule() per schedule (the
+//   expensive determinism invariant applied every `determinism_stride`-th
+//   schedule)  →  on violation: shrink_schedule() with the same invariant
+//   as the oracle, save the minimal schedule into the seed corpus, and
+//   keep the rendered repro in `violation_log`.
+//
+// The summary's schedules_hash/outcome_digest fold every schedule identity
+// and per-run flight digest, so two sweeps over the same config must agree
+// byte-for-byte — that pair is what bench_explore pins into its gated
+// manifest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/explore/corpus.hpp"
+#include "sim/explore/enumerate.hpp"
+#include "sim/explore/invariants.hpp"
+#include "sim/explore/shrink.hpp"
+
+namespace esg::explore {
+
+struct SweepConfig {
+  EnumerationConfig enumeration = canonical_enumeration();
+  WorldOptions world;
+  /// Apply the deterministic-replay invariant to every Nth schedule
+  /// (1 = always, 0 = never).  It doubles that schedule's cost, so sweeps
+  /// sample it instead of paying it everywhere.
+  std::size_t determinism_stride = 8;
+  /// Shrink violations and persist the minimal schedules here ("" = keep
+  /// violations unshrunk and unsaved — the corpus stays curated).
+  std::string corpus_dir;
+  ShrinkOptions shrink;
+  /// Progress callback, called once per schedule ("12/200 a3f9… ok").
+  std::function<void(const std::string&)> progress;
+};
+
+struct SweepSummary {
+  std::size_t schedules_run = 0;
+  std::size_t invariants_checked = 0;  // summed over all schedules
+  std::size_t violations = 0;          // violating *schedules*
+  std::size_t seeds_written = 0;       // shrunk seeds saved to the corpus
+  /// Fold of every explored schedule's hash, in sweep order.
+  std::uint64_t schedules_hash = 0;
+  /// Fold of every run's flight digest, in sweep order — the sweep's
+  /// behavioural fingerprint.
+  std::uint64_t outcome_digest = 0;
+  /// Rendered repro (schedule JSON + replay command) per violation.
+  std::vector<std::string> violation_log;
+};
+
+SweepSummary run_sweep(const SweepConfig& config);
+
+}  // namespace esg::explore

@@ -1,0 +1,137 @@
+#include "sim/explore/invariants.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/postmortem.hpp"
+
+namespace esg::explore {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += "; ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Violation::render() const {
+  std::string out = "invariant violated: " + invariant + "\n";
+  out += "  " + detail + "\n";
+  out += "  schedule " + schedule.hash_hex() + ": " + schedule.to_json() +
+         "\n";
+  out += "  replay: " + replay_command(schedule) + "\n";
+  return out;
+}
+
+std::vector<std::string> invariant_names(bool with_determinism) {
+  std::vector<std::string> names = {"terminates", "no-file-lost",
+                                    "breakers-reclose", "phases-tile",
+                                    "alerts-correlated"};
+  if (with_determinism) names.push_back("deterministic-replay");
+  return names;
+}
+
+CheckResult check_schedule(const FaultSchedule& schedule,
+                           const InvariantOptions& options) {
+  CheckResult result;
+  result.run = run_schedule(schedule, options.world);
+  const ScheduleRun& run = result.run;
+  auto violate = [&](const char* invariant, std::string detail) {
+    result.violations.push_back(
+        {invariant, std::move(detail), schedule});
+  };
+
+  // terminates
+  ++result.invariants_checked;
+  if (!run.terminated) {
+    violate("terminates",
+            "workload did not complete before the liveness cap (" +
+                common::format_time(options.world.run_cap) + ")");
+    // The remaining invariants describe a completed run; stop here.
+    return result;
+  }
+
+  // no-file-lost
+  ++result.invariants_checked;
+  if (run.failed > 0) {
+    violate("no-file-lost",
+            std::to_string(run.failed) + " of " +
+                std::to_string(run.files_requested) +
+                " file(s) permanently failed although every fault window "
+                "ends: " +
+                join(run.failure_details));
+  }
+
+  // breakers-reclose
+  ++result.invariants_checked;
+  if (!run.unhealthy_hosts.empty()) {
+    violate("breakers-reclose",
+            "breaker(s) still refusing traffic after cooldown: " +
+                join(run.unhealthy_hosts));
+  }
+
+  // phases-tile: every file's postmortem slices are contiguous and sum
+  // exactly to the file's whole [started, finished] span.
+  ++result.invariants_checked;
+  for (const auto& file : obs::postmortem_files(run.manifest.events)) {
+    const auto pm = obs::build_postmortem(run.manifest.events, file);
+    if (!pm.found || pm.finished < pm.started) continue;
+    common::SimDuration covered = 0;
+    bool contiguous = !pm.phases.empty();
+    for (std::size_t i = 0; i < pm.phases.size(); ++i) {
+      covered += pm.phases[i].duration();
+      if (i > 0 && pm.phases[i].start != pm.phases[i - 1].end) {
+        contiguous = false;
+      }
+    }
+    if (!pm.phases.empty() &&
+        (pm.phases.front().start != pm.started ||
+         pm.phases.back().end != pm.finished)) {
+      contiguous = false;
+    }
+    if (!contiguous || covered != pm.total()) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "phase slices of '%s' do not tile its span "
+                    "(covered %.3f s of %.3f s%s)",
+                    file.c_str(), common::to_seconds(covered),
+                    common::to_seconds(pm.total()),
+                    contiguous ? "" : ", non-contiguous");
+      violate("phases-tile", buf);
+    }
+  }
+
+  // alerts-correlated
+  ++result.invariants_checked;
+  if (!run.uncorrelated_alerts.empty()) {
+    violate("alerts-correlated",
+            "alert firing(s) with no injected-fault cause: " +
+                join(run.uncorrelated_alerts));
+  }
+
+  // deterministic-replay
+  if (options.check_determinism) {
+    ++result.invariants_checked;
+    const ScheduleRun again = run_schedule(schedule, options.world);
+    if (again.manifest_json != run.manifest_json ||
+        again.flight_digest != run.flight_digest) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "same-schedule rerun diverged (manifest bytes %s, "
+                    "flight digest %016" PRIx64 " vs %016" PRIx64 ")",
+                    again.manifest_json == run.manifest_json ? "equal"
+                                                             : "DIFFER",
+                    run.flight_digest, again.flight_digest);
+      violate("deterministic-replay", buf);
+    }
+  }
+  return result;
+}
+
+}  // namespace esg::explore

@@ -1,0 +1,63 @@
+// The declarative invariant suite checked on every explored schedule.
+//
+// Every enumerated fault plan is bounded (clamp_to the horizon) and the
+// canonical world's retry budgets are generous, so the self-healing stack
+// is *expected* to fully recover from anything the enumerator emits.  The
+// invariants pin that expectation down:
+//
+//   terminates           — the workload completes before the liveness cap.
+//   no-file-lost         — no file permanently fails while a replica is
+//                          alive (every fault window ends, so replicas
+//                          always come back; a permanent failure means the
+//                          recovery machinery gave up wrongly).
+//   breakers-reclose     — after a post-run cooldown advance, every circuit
+//                          breaker re-admits traffic; none wedges open.
+//   phases-tile          — each file's postmortem phase slices are
+//                          contiguous and sum exactly to its whole span.
+//   alerts-correlated    — every alert firing during the run correlates to
+//                          an injected fault (no page without a cause).
+//   deterministic-replay — re-running the same schedule reproduces the
+//                          RunManifest bytes and flight digest exactly.
+//
+// A Violation carries the full schedule and renders as a self-contained
+// repro: the offending schedule's JSON plus the one-line esg-explore
+// replay command.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/explore/world.hpp"
+
+namespace esg::explore {
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  FaultSchedule schedule;
+
+  /// Multi-line report: invariant, detail, schedule JSON, replay command.
+  std::string render() const;
+};
+
+struct InvariantOptions {
+  WorldOptions world;
+  /// Run the schedule twice and byte-compare (the expensive invariant;
+  /// sweeps apply it to every Nth schedule).
+  bool check_determinism = false;
+};
+
+struct CheckResult {
+  ScheduleRun run;
+  std::vector<Violation> violations;
+  int invariants_checked = 0;
+};
+
+/// The invariant names in check order (determinism last, when enabled).
+std::vector<std::string> invariant_names(bool with_determinism);
+
+/// Run `schedule` against the canonical world and evaluate the suite.
+CheckResult check_schedule(const FaultSchedule& schedule,
+                           const InvariantOptions& options = {});
+
+}  // namespace esg::explore

@@ -1,0 +1,53 @@
+// A FaultSchedule is one point in the fault-interleaving search space: a
+// fully explicit, serializable fault plan (no profile randomness left) plus
+// the simulation seed and horizon it is meant to run against.
+//
+// Schedules are the currency of the explorer: the enumerator emits them,
+// the canonical world replays them through a FaultInjector, the shrinker
+// minimizes them, and violated ones are checked into
+// bench/baselines/explore/ as JSON regression seeds.  Everything therefore
+// hangs off two properties:
+//
+//   * hash(): a canonical FNV-1a fingerprint (seed, horizon, every fault's
+//     kind/target/window/magnitude) — the schedule's identity in sweep
+//     summaries, seed filenames and dedup sets;
+//   * to_json()/from_json(): a deterministic, byte-stable round-trip (the
+//     JSON a parsed schedule re-serializes to is identical), so a violation
+//     message can embed the exact one-line replay artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/chaos.hpp"
+
+namespace esg::explore {
+
+struct FaultSchedule {
+  /// Optional provenance tag ("single:3", "shrunk", corpus file stem, ...).
+  std::string name;
+  /// Seed for the Simulation the schedule runs against.
+  std::uint64_t sim_seed = 1;
+  /// Enumeration horizon: every fault window fits inside [0, horizon].
+  common::SimTime horizon = 150 * common::kSecond;
+  std::vector<sim::FaultEvent> faults;
+
+  /// Canonical fingerprint; equal schedules (after normalize_fault) agree.
+  std::uint64_t hash() const;
+  /// hash() as 16 lowercase hex digits (seed filenames, log lines).
+  std::string hash_hex() const;
+
+  /// Single-line deterministic JSON; parse(to_json()) re-serializes to the
+  /// identical bytes (times are integer nanoseconds, magnitudes %.17g).
+  std::string to_json() const;
+  static common::Result<FaultSchedule> from_json(std::string_view text);
+};
+
+/// The copy-paste replay command for a schedule (single-quoted inline JSON
+/// for the esg-explore CLI) — every invariant-violation message embeds it.
+std::string replay_command(const FaultSchedule& schedule);
+
+}  // namespace esg::explore

@@ -1,0 +1,111 @@
+#include "sim/explore/shrink.hpp"
+
+#include <algorithm>
+
+namespace esg::explore {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const Oracle& oracle, const ShrinkOptions& options)
+      : oracle_(oracle), options_(options) {}
+
+  int runs() const { return runs_; }
+
+  bool violates(const FaultSchedule& candidate) {
+    if (runs_ >= options_.max_runs) return false;  // budget gone: keep as-is
+    ++runs_;
+    return oracle_(candidate);
+  }
+
+  /// ddmin over the fault list: on return `sched` violates and removing
+  /// any single fault from it no longer does (1-minimal), budget allowing.
+  void minimize_set(FaultSchedule& sched) {
+    std::size_t granularity = 2;
+    while (sched.faults.size() >= 2 && runs_ < options_.max_runs) {
+      granularity = std::min(granularity, sched.faults.size());
+      const std::size_t chunk =
+          (sched.faults.size() + granularity - 1) / granularity;
+      bool reduced = false;
+      for (std::size_t begin = 0;
+           begin < sched.faults.size() && !reduced; begin += chunk) {
+        const std::size_t end =
+            std::min(begin + chunk, sched.faults.size());
+        FaultSchedule candidate = sched;
+        candidate.faults.erase(candidate.faults.begin() + begin,
+                               candidate.faults.begin() + end);
+        if (!candidate.faults.empty() && violates(candidate)) {
+          sched = std::move(candidate);
+          granularity = std::max<std::size_t>(2, granularity - 1);
+          reduced = true;
+        }
+      }
+      if (!reduced) {
+        if (granularity >= sched.faults.size()) break;
+        granularity = std::min(sched.faults.size(), granularity * 2);
+      }
+    }
+  }
+
+  /// Per-fault window simplification: shortest still-violating ladder
+  /// duration, then earliest still-violating snap start.
+  void minimize_windows(FaultSchedule& sched) {
+    for (std::size_t i = 0; i < sched.faults.size(); ++i) {
+      if (sim::fault_kind_durable(sched.faults[i].kind)) {
+        for (common::SimDuration d : options_.duration_ladder) {
+          if (d >= sched.faults[i].duration) break;
+          FaultSchedule candidate = sched;
+          candidate.faults[i].duration = d;
+          if (violates(candidate)) {
+            sched = std::move(candidate);
+            break;  // ladder is ascending: the first hit is the shortest
+          }
+        }
+      }
+      for (common::SimTime s : options_.start_snap) {
+        if (s >= sched.faults[i].start) break;
+        FaultSchedule candidate = sched;
+        candidate.faults[i].start = s;
+        if (violates(candidate)) {
+          sched = std::move(candidate);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  const Oracle& oracle_;
+  const ShrinkOptions& options_;
+  int runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const FaultSchedule& input, const Oracle& oracle,
+                             const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimal = input;
+  result.original_faults = input.faults.size();
+
+  Shrinker shrinker(oracle, options);
+  // The repro check runs outside the budget accounting guard so a
+  // max_runs=0 caller still learns whether the input violates.
+  result.reproduced = oracle(result.minimal);
+  result.oracle_runs = 1;
+  if (!result.reproduced) return result;
+
+  std::uint64_t before;
+  do {
+    before = result.minimal.hash();
+    shrinker.minimize_set(result.minimal);
+    shrinker.minimize_windows(result.minimal);
+  } while (result.minimal.hash() != before);
+
+  result.oracle_runs += shrinker.runs();
+  result.minimal.name = "shrunk:" + input.hash_hex();
+  return result;
+}
+
+}  // namespace esg::explore

@@ -1,0 +1,57 @@
+// Counterexample shrinking: reduce a violating fault schedule to a minimal
+// one that still violates, so the checked-in regression seed (and the
+// human reading it) sees the essence of the bug, not the random noise the
+// sweep happened to wrap around it.
+//
+// Classic delta debugging (Zeller's ddmin) over the fault list, followed
+// by per-fault simplification:
+//
+//   1. ddmin      — find a 1-minimal *subset* of the faults: removing any
+//                   single remaining fault makes the violation disappear.
+//   2. durations  — per fault, the shortest ladder duration that still
+//                   violates (many bugs only need the window to exist).
+//   3. starts     — per fault, the earliest snap-grid start that still
+//                   violates (canonical timings diff well between seeds).
+//
+// The three passes iterate to a fixed point.  Everything is driven through
+// a caller-supplied oracle (true = "still violates"), so the shrinker is
+// deterministic whenever the oracle is — which check_schedule() guarantees.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/explore/schedule.hpp"
+
+namespace esg::explore {
+
+/// Does this schedule still exhibit the failure being minimized?
+using Oracle = std::function<bool(const FaultSchedule&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on oracle invocations (each one is a full world run).
+  int max_runs = 400;
+  /// Candidate durations tried smallest-first for each durable fault.
+  std::vector<common::SimDuration> duration_ladder = {
+      0, 5 * common::kSecond, 10 * common::kSecond, 20 * common::kSecond,
+      45 * common::kSecond};
+  /// Candidate start times tried earliest-first for each fault.
+  std::vector<common::SimTime> start_snap = {
+      0, 5 * common::kSecond, 25 * common::kSecond, 60 * common::kSecond};
+};
+
+struct ShrinkResult {
+  FaultSchedule minimal;
+  /// Oracle invocations spent (<= max_runs + 1 for the initial repro).
+  int oracle_runs = 0;
+  std::size_t original_faults = 0;
+  /// False when the input schedule did not violate under the oracle at
+  /// all — `minimal` is then the unmodified input.
+  bool reproduced = false;
+};
+
+ShrinkResult shrink_schedule(const FaultSchedule& input, const Oracle& oracle,
+                             const ShrinkOptions& options = {});
+
+}  // namespace esg::explore

@@ -37,15 +37,23 @@ EventHandle Simulation::schedule_every(SimDuration period,
   // single cancel() stops the series.
   auto alive = std::make_shared<bool>(true);
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+  // The queued wrapper events own `tick`; the body holds only a weak
+  // reference to itself.  Once the series ends (or a cancelled instance is
+  // purged) the last wrapper releases the closure, so whatever the callback
+  // captured is destroyed instead of living on in a tick->closure->tick
+  // cycle.
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, period, fn = std::move(fn), alive, weak_tick]() {
     if (!*alive) return;
     if (!fn()) {
       *alive = false;
       return;
     }
-    push_event(Event{now_ + period, next_seq_++, *tick, alive});
+    if (auto t = weak_tick.lock()) {
+      push_event(Event{now_ + period, next_seq_++, [t] { (*t)(); }, alive});
+    }
   };
-  push_event(Event{now_ + period, next_seq_++, *tick, alive});
+  push_event(Event{now_ + period, next_seq_++, [t = tick] { (*t)(); }, alive});
   return EventHandle(std::move(alive), cancelled_);
 }
 
@@ -55,7 +63,10 @@ EventHandle Simulation::start_telemetry(SimDuration period) {
   alerts_.evaluate(now_);
   auto alive = std::make_shared<bool>(true);
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, alive, tick] {
+  // Same ownership scheme as schedule_every: queued wrappers own the
+  // closure, the body only weakly references itself.
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, period, alive, weak_tick] {
     if (!*alive) return;
     telemetry_.sample_registry(metrics_, now_);
     alerts_.evaluate(now_);
@@ -63,12 +74,14 @@ EventHandle Simulation::start_telemetry(SimDuration period) {
     // the last event in the queue the run is over, and a self-perpetuating
     // sampler would keep run() from ever returning.
     if (!queue_.empty()) {
-      push_event(Event{now_ + period, next_seq_++, *tick, alive});
+      if (auto t = weak_tick.lock()) {
+        push_event(Event{now_ + period, next_seq_++, [t] { (*t)(); }, alive});
+      }
     } else {
       *alive = false;
     }
   };
-  push_event(Event{now_ + period, next_seq_++, *tick, alive});
+  push_event(Event{now_ + period, next_seq_++, [t = tick] { (*t)(); }, alive});
   return EventHandle(std::move(alive), cancelled_);
 }
 

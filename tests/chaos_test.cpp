@@ -3,8 +3,10 @@
 // crash/restart, tape stalls, and same-seed determinism of a faulted run.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/retry.hpp"
@@ -224,6 +226,87 @@ TEST(FaultInjector, ArmRecordsChaosMetrics) {
   sim.run();
   auto done = sim.metrics().snapshot(sim.now());
   EXPECT_EQ(done.value_or("chaos_active_faults", {}), 0.0);
+}
+
+TEST(FaultInjector, FaultKindNamesRoundTrip) {
+  for (int i = 0; i < es::kFaultKindCount; ++i) {
+    const auto kind = static_cast<es::FaultKind>(i);
+    auto parsed = es::parse_fault_kind(es::fault_kind_name(kind));
+    ASSERT_TRUE(parsed.ok()) << es::fault_kind_name(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(es::parse_fault_kind("meteor_strike").ok());
+  EXPECT_FALSE(es::parse_fault_kind("").ok());
+}
+
+TEST(FaultInjector, NormalizeClampsAndCanonicalizes) {
+  es::FaultEvent e{es::FaultKind::brownout, "link", -50, -10, -0.0, ""};
+  es::normalize_fault(e);
+  EXPECT_EQ(e.start, 0);
+  EXPECT_EQ(e.duration, 0);
+  EXPECT_FALSE(std::signbit(e.magnitude));  // -0.0 would split the hash
+  es::FaultEvent c{es::FaultKind::corruption, "client", 5, 1000, 0.0, ""};
+  es::normalize_fault(c);
+  EXPECT_EQ(c.duration, 0);  // corruption is instantaneous
+}
+
+TEST(FaultInjector, ClampToHorizonKeepsCollapsedWindows) {
+  es::FaultInjector a{1}, b{1};
+  for (auto* inj : {&a, &b}) {
+    inj->add({es::FaultKind::brownout, "link", 100, 200, 0.5, ""})
+        .add({es::FaultKind::brownout, "link", 200, 50, 0.5, ""})
+        .clamp_to(150);
+  }
+  ASSERT_EQ(a.plan().size(), 2u);  // collapsed window kept, not dropped
+  EXPECT_EQ(a.plan()[0].start, 100);
+  EXPECT_EQ(a.plan()[0].duration, 50);  // truncated to the horizon
+  EXPECT_EQ(a.plan()[1].start, 150);    // snapped to the horizon...
+  EXPECT_EQ(a.plan()[1].duration, 0);   // ...with zero length
+  EXPECT_EQ(a.timeline_hash(), b.timeline_hash());  // clamping hashes stably
+}
+
+TEST(FaultInjector, ZeroDurationFaultFiresBeginThenEndAtOneInstant) {
+  es::Simulation sim;
+  es::FaultInjector inj{1};
+  inj.add({es::FaultKind::brownout, "link", 100, 0, 0.5, ""});
+  std::vector<std::pair<ec::SimTime, bool>> transitions;
+  es::FaultHooks hooks;
+  hooks.brownout = [&](const es::FaultEvent&, bool begin) {
+    transitions.emplace_back(sim.now(), begin);
+  };
+  inj.arm(sim, std::move(hooks));
+  sim.run();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(ec::SimTime{100}, true));
+  EXPECT_EQ(transitions[1], std::make_pair(ec::SimTime{100}, false));
+  EXPECT_FALSE(inj.active(es::FaultKind::brownout, "link", 100));
+}
+
+TEST(FaultInjector, ArmClampsWindowsAlreadyInThePast) {
+  es::Simulation sim;
+  sim.schedule_at(50, [] {});
+  sim.run();  // now() == 50
+  es::FaultInjector inj{1};
+  inj.add({es::FaultKind::brownout, "link", 10, 20, 0.5, ""})    // elapsed
+      .add({es::FaultKind::brownout, "other", 10, 100, 0.5, ""});  // ongoing
+  std::vector<std::tuple<ec::SimTime, std::string, bool>> transitions;
+  es::FaultHooks hooks;
+  hooks.brownout = [&](const es::FaultEvent& e, bool begin) {
+    transitions.emplace_back(sim.now(), e.target, begin);
+  };
+  inj.arm(sim, std::move(hooks));
+  sim.run();
+  ASSERT_EQ(transitions.size(), 4u);
+  // Fully elapsed window: begin and end both fire at now(), begin first.
+  EXPECT_EQ(transitions[0], std::make_tuple(ec::SimTime{50},
+                                            std::string("link"), true));
+  EXPECT_EQ(transitions[1], std::make_tuple(ec::SimTime{50},
+                                            std::string("link"), false));
+  // Ongoing window: begin clamps to now(), end stays at start + duration.
+  EXPECT_EQ(transitions[2], std::make_tuple(ec::SimTime{50},
+                                            std::string("other"), true));
+  EXPECT_EQ(transitions[3], std::make_tuple(ec::SimTime{110},
+                                            std::string("other"), false));
 }
 
 // ---------- circuit breaker ----------

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event kernel and failure scheduling.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/failure.hpp"
@@ -78,6 +79,31 @@ TEST(Simulation, PeriodicCancelStopsSeries) {
   sim.schedule_at(35, [&] { h.cancel(); });
   sim.run();
   EXPECT_EQ(count, 3);  // fired at 10, 20, 30
+}
+
+TEST(Simulation, PeriodicReleasesCapturesWhenSeriesEnds) {
+  es::Simulation sim;
+  auto sentinel = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = sentinel;
+  sim.schedule_every(10, [s = std::move(sentinel)] { return ++*s < 3; });
+  sim.run();
+  // Once the callback returns false the series' closure must be destroyed,
+  // not pinned by a self-referential cycle inside the scheduler.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulation, PeriodicReleasesCapturesAfterCancelledInstanceDrains) {
+  es::Simulation sim;
+  auto sentinel = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = sentinel;
+  auto h = sim.schedule_every(10, [s = std::move(sentinel)] {
+    ++*s;
+    return true;
+  });
+  sim.schedule_at(25, [&] { h.cancel(); });
+  sim.schedule_at(100, [] {});  // keeps the run going past the dead tick
+  sim.run();
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(Simulation, RunUntilStopsAtDeadline) {

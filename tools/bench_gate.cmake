@@ -15,8 +15,8 @@
 # Refresh the baselines intentionally (after an accepted perf change) with:
 #   cp <build>/bench-gate/MANIFEST_*.json bench/baselines/
 
-foreach(var BENCH_FLUID BENCH_CHAOS BENCH_CAMPAIGN ESG_REPORT BASELINE_DIR
-            WORK_DIR)
+foreach(var BENCH_FLUID BENCH_CHAOS BENCH_CAMPAIGN BENCH_EXPLORE ESG_REPORT
+            BASELINE_DIR WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_gate: -D${var}=... is required")
   endif()
@@ -69,9 +69,12 @@ endfunction()
 run_bench("bench_fluid_scale --small" "${BENCH_FLUID}" --small)
 run_bench("bench_chaos" "${BENCH_CHAOS}")
 run_bench("bench_campaign --small" "${BENCH_CAMPAIGN}" --small)
+run_bench("bench_explore" "${BENCH_EXPLORE}"
+          --corpus "${BASELINE_DIR}/explore")
 
 gate_manifest(fluid_scale)
 gate_manifest(chaos)
 gate_manifest(campaign)
+gate_manifest(explore)
 
 message(STATUS "bench_gate: all manifests within tolerance ${TOLERANCE}")
