@@ -15,12 +15,16 @@ constexpr double kByteEps = 0.5;  // "done" when less than half a byte remains
 FluidNetwork::FluidNetwork(sim::Simulation& simulation,
                            SimDuration poll_interval)
     : sim_(simulation), poll_interval_(poll_interval) {
-  last_integration_ = sim_.now();
+  observed_integration_ = sim_.now();
+  components_gauge_ = &sim_.metrics().gauge("net_components");
+  solve_size_gauge_ = &sim_.metrics().gauge("net_component_solve_size");
+  components_gauge_->set(0.0);
 }
 
 FluidNetwork::~FluidNetwork() {
   next_event_.cancel();
   poll_event_.cancel();
+  for (auto& t : transfer_pool_) t.completion.cancel();
 }
 
 Resource* FluidNetwork::add_resource(std::string name, Rate capacity) {
@@ -33,6 +37,13 @@ Resource* FluidNetwork::add_resource(std::string name, Rate capacity) {
   assert(inserted && "duplicate resource name");
   (void)it;
   resources_by_id_.push_back(ptr);
+  res_comp_.push_back(kNone);
+  foreground_.push_back(0.0);
+  // Per-resource solver scratch grows here, never during a solve.
+  usage_scratch_.push_back(0.0);
+  cap_scratch_.push_back(0.0);
+  unfrozen_scratch_.push_back(0);
+  res_mark_.push_back(0);
   return ptr;
 }
 
@@ -46,10 +57,23 @@ void FluidNetwork::on_mutation() {
   if (batch_depth_ == 0) touch();
 }
 
+void FluidNetwork::mark_dirty(std::uint32_t cid) {
+  Component& c = comp_pool_[cid];
+  if (!c.dirty) {
+    c.dirty = true;
+    dirty_comps_.push_back(cid);
+  }
+}
+
 void FluidNetwork::set_down(Resource* resource, bool down) {
   assert(resource != nullptr);
   if (resource->down_ == down) return;
   resource->down_ = down;
+  if (res_comp_[resource->id_] != kNone) {
+    mark_dirty(res_comp_[resource->id_]);
+  } else {
+    pending_res_.push_back(resource);
+  }
   on_mutation();
 }
 
@@ -58,6 +82,11 @@ void FluidNetwork::set_background(Resource* resource, Rate load) {
   const Rate clamped = std::max(0.0, load);
   if (resource->background_ == clamped) return;
   resource->background_ = clamped;
+  if (res_comp_[resource->id_] != kNone) {
+    mark_dirty(res_comp_[resource->id_]);
+  } else {
+    pending_res_.push_back(resource);
+  }
   on_mutation();
 }
 
@@ -66,61 +95,357 @@ void FluidNetwork::set_capacity(Resource* resource, Rate capacity) {
   const Rate clamped = std::max(0.0, capacity);
   if (resource->nominal_ == clamped) return;
   resource->nominal_ = clamped;
+  if (res_comp_[resource->id_] != kNone) {
+    mark_dirty(res_comp_[resource->id_]);
+  } else {
+    pending_res_.push_back(resource);
+  }
   on_mutation();
 }
+
+// ---- arenas ----
+
+std::uint32_t FluidNetwork::path_alloc(std::uint32_t len) {
+  if (len == 0) return 0;
+  auto it = path_free_.find(len);
+  if (it != path_free_.end() && !it->second.empty()) {
+    const std::uint32_t begin = it->second.back();
+    it->second.pop_back();
+    return begin;
+  }
+  const auto begin = static_cast<std::uint32_t>(path_pool_.size());
+  path_pool_.resize(path_pool_.size() + len);
+  return begin;
+}
+
+std::uint32_t FluidNetwork::alloc_flow(const FlowSpec& spec) {
+  std::uint32_t fslot;
+  if (!flow_free_.empty()) {
+    fslot = flow_free_.back();
+    flow_free_.pop_back();
+  } else {
+    fslot = static_cast<std::uint32_t>(flow_pool_.size());
+    flow_pool_.emplace_back();
+  }
+  Flow& f = flow_pool_[fslot];
+  f = Flow{};
+  f.cap = spec.cap;
+  f.path_len = static_cast<std::uint32_t>(spec.path.size());
+  f.path_begin = path_alloc(f.path_len);
+  for (std::uint32_t k = 0; k < f.path_len; ++k) {
+    path_pool_[f.path_begin + k] = spec.path[k]->id();
+  }
+  return fslot;
+}
+
+void FluidNetwork::free_flow(std::uint32_t fslot) {
+  Flow& f = flow_pool_[fslot];
+  if (f.path_len > 0) path_free_[f.path_len].push_back(f.path_begin);
+  f = Flow{};
+  flow_free_.push_back(fslot);
+}
+
+std::uint32_t FluidNetwork::alloc_comp() {
+  std::uint32_t cid;
+  if (!comp_free_.empty()) {
+    cid = comp_free_.back();
+    comp_free_.pop_back();
+  } else {
+    cid = static_cast<std::uint32_t>(comp_pool_.size());
+    comp_pool_.emplace_back();
+    comp_mark_.push_back(0);
+  }
+  Component& c = comp_pool_[cid];
+  c.flows.clear();
+  c.resources.clear();
+  c.live = true;
+  c.dirty = false;
+  c.needs_rebuild = false;
+  ++live_components_;
+  components_gauge_->set(static_cast<double>(live_components_));
+  return cid;
+}
+
+void FluidNetwork::free_comp(std::uint32_t cid) {
+  Component& c = comp_pool_[cid];
+  c.flows.clear();
+  c.resources.clear();
+  c.live = false;
+  c.dirty = false;
+  c.needs_rebuild = false;
+  comp_free_.push_back(cid);
+  --live_components_;
+  components_gauge_->set(static_cast<double>(live_components_));
+}
+
+void FluidNetwork::assign_flow_component(std::uint32_t fslot) {
+  Flow& f = flow_pool_[fslot];
+  // Collect the distinct components the path touches.
+  ++mark_epoch_;
+  merge_scratch_.clear();
+  std::uint32_t target = kNone;
+  for (std::uint32_t k = 0; k < f.path_len; ++k) {
+    const std::uint32_t cid = res_comp_[path_pool_[f.path_begin + k]];
+    if (cid == kNone || comp_mark_[cid] == mark_epoch_) continue;
+    comp_mark_[cid] = mark_epoch_;
+    merge_scratch_.push_back(cid);
+    if (target == kNone ||
+        comp_pool_[cid].flows.size() > comp_pool_[target].flows.size()) {
+      target = cid;
+    }
+  }
+  if (target == kNone) target = alloc_comp();
+  // Absorb every other bridged component into the largest one.
+  for (const std::uint32_t cid : merge_scratch_) {
+    if (cid == target) continue;
+    Component& from = comp_pool_[cid];
+    Component& into = comp_pool_[target];
+    for (const std::uint32_t fs : from.flows) {
+      flow_pool_[fs].comp = target;
+      flow_pool_[fs].index_in_comp =
+          static_cast<std::uint32_t>(into.flows.size());
+      into.flows.push_back(fs);
+    }
+    for (const std::uint32_t rid : from.resources) {
+      res_comp_[rid] = target;
+      into.resources.push_back(rid);
+    }
+    free_comp(cid);
+  }
+  Component& c = comp_pool_[target];
+  f.comp = target;
+  f.index_in_comp = static_cast<std::uint32_t>(c.flows.size());
+  c.flows.push_back(fslot);
+  for (std::uint32_t k = 0; k < f.path_len; ++k) {
+    const std::uint32_t rid = path_pool_[f.path_begin + k];
+    if (res_comp_[rid] == kNone) {
+      res_comp_[rid] = target;
+      c.resources.push_back(rid);
+    }
+  }
+  mark_dirty(target);
+}
+
+void FluidNetwork::remove_flow(std::uint32_t fslot) {
+  Flow& f = flow_pool_[fslot];
+  const std::uint32_t cid = f.comp;
+  Component& c = comp_pool_[cid];
+  // Swap-remove from the component's flow list.
+  const std::uint32_t pos = f.index_in_comp;
+  const std::uint32_t last = c.flows.back();
+  c.flows[pos] = last;
+  flow_pool_[last].index_in_comp = pos;
+  c.flows.pop_back();
+  if (c.flows.empty()) {
+    // Last flow gone: orphan the resources and retire the component.
+    for (const std::uint32_t rid : c.resources) {
+      res_comp_[rid] = kNone;
+      foreground_[rid] = 0.0;
+      update_resource_gauge(resources_by_id_[rid]);
+    }
+    // A pending dirty entry for this slot is skipped by the solve loop.
+    free_comp(cid);
+  } else {
+    mark_dirty(cid);
+    c.needs_rebuild = true;
+  }
+  free_flow(fslot);
+}
+
+void FluidNetwork::rebuild_component(std::uint32_t cid,
+                                     std::vector<std::uint32_t>& worklist) {
+  // A flow removal may have disconnected the component.  Re-derive its
+  // connectivity with a resource-keyed union-find scoped to this component;
+  // group 1 keeps the slot, every further group gets a fresh (dirty) one.
+  ++rebuilds_;
+  ++mark_epoch_;
+  uf_parent_.resize(res_comp_.size());
+  Component& c = comp_pool_[cid];
+  c.needs_rebuild = false;
+
+  auto find_root = [&](std::uint32_t rid) {
+    std::uint32_t root = rid;
+    while (uf_parent_[root] != root) root = uf_parent_[root];
+    while (uf_parent_[rid] != root) {
+      const std::uint32_t up = uf_parent_[rid];
+      uf_parent_[rid] = root;
+      rid = up;
+    }
+    return root;
+  };
+
+  for (const std::uint32_t fslot : c.flows) {
+    const Flow& f = flow_pool_[fslot];
+    std::uint32_t first = kNone;
+    for (std::uint32_t k = 0; k < f.path_len; ++k) {
+      const std::uint32_t rid = path_pool_[f.path_begin + k];
+      if (res_mark_[rid] != mark_epoch_) {
+        res_mark_[rid] = mark_epoch_;
+        uf_parent_[rid] = rid;
+      }
+      if (first == kNone) {
+        first = rid;
+      } else {
+        uf_parent_[find_root(rid)] = find_root(first);
+      }
+    }
+  }
+
+  // Partition the flows by root.  Empty-path flows (no resources) each form
+  // their own group.
+  group_scratch_.clear();  // (root, component) pairs
+  auto comp_for_root = [&](std::uint32_t root) {
+    for (const auto& [r, id] : group_scratch_) {
+      if (r == root) return id;
+    }
+    std::uint32_t id;
+    if (group_scratch_.empty()) {
+      id = cid;  // first group reuses the slot
+      // Clearing here is safe: flows/resources were snapshotted below.
+    } else {
+      id = alloc_comp();
+      comp_pool_[id].dirty = true;  // solved by the caller's worklist
+      worklist.push_back(id);
+    }
+    group_scratch_.emplace_back(root, id);
+    return id;
+  };
+
+  // Snapshot the member lists, then redistribute.
+  std::vector<std::uint32_t>& old_flows = transfer_scratch_;  // reuse scratch
+  old_flows.assign(c.flows.begin(), c.flows.end());
+  std::vector<std::uint32_t> old_resources;
+  old_resources.swap(c.resources);
+  c.flows.clear();
+
+  for (const std::uint32_t fslot : old_flows) {
+    Flow& f = flow_pool_[fslot];
+    std::uint32_t target;
+    if (f.path_len == 0) {
+      // Detached flow: isolate it (cannot share a component with anything).
+      target = group_scratch_.empty() ? cid : alloc_comp();
+      if (target != cid) {
+        comp_pool_[target].dirty = true;
+        worklist.push_back(target);
+        group_scratch_.emplace_back(kNone, target);  // occupy group 1 marker
+      } else {
+        group_scratch_.emplace_back(kNone, target);
+      }
+    } else {
+      target = comp_for_root(find_root(path_pool_[f.path_begin]));
+    }
+    Component& tc = comp_pool_[target];
+    f.comp = target;
+    f.index_in_comp = static_cast<std::uint32_t>(tc.flows.size());
+    tc.flows.push_back(fslot);
+  }
+
+  for (const std::uint32_t rid : old_resources) {
+    if (res_mark_[rid] != mark_epoch_) {
+      // No remaining flow crosses it: orphan.
+      res_comp_[rid] = kNone;
+      foreground_[rid] = 0.0;
+      update_resource_gauge(resources_by_id_[rid]);
+      continue;
+    }
+    const std::uint32_t target = comp_for_root(find_root(rid));
+    res_comp_[rid] = target;
+    comp_pool_[target].resources.push_back(rid);
+  }
+}
+
+// ---- transfers ----
 
 TransferId FluidNetwork::start_transfer(std::vector<FlowSpec> flows,
                                         Bytes total,
                                         TransferCallbacks callbacks) {
   assert(!flows.empty());
-  Transfer t;
+  std::uint32_t tslot;
+  if (!transfer_free_.empty()) {
+    tslot = transfer_free_.back();
+    transfer_free_.pop_back();
+  } else {
+    tslot = static_cast<std::uint32_t>(transfer_pool_.size());
+    transfer_pool_.emplace_back();
+    transfer_mark_.push_back(0);
+  }
+  Transfer& t = transfer_pool_[tslot];
   t.id = next_id_++;
   t.total = total < 0 ? -1.0 : static_cast<double>(total);
+  t.delivered = 0.0;
+  t.reported = 0.0;
+  t.cached_rate = 0.0;
+  t.last_integrated = sim_.now();
   t.callbacks = std::move(callbacks);
+  t.observed = static_cast<bool>(t.callbacks.on_progress) ||
+               static_cast<bool>(t.callbacks.on_complete);
+  t.flows.clear();
   t.flows.reserve(flows.size());
-  for (auto& spec : flows) {
-    Flow f;
-    f.path.reserve(spec.path.size());
-    for (const Resource* r : spec.path) f.path.push_back(r->id());
-    f.cap = spec.cap;
-    t.flows.push_back(std::move(f));
+  for (const auto& spec : flows) {
+    const std::uint32_t fslot = alloc_flow(spec);
+    flow_pool_[fslot].transfer = tslot;
+    t.flows.push_back(fslot);
+    assign_flow_component(fslot);
   }
   const TransferId id = t.id;
-  transfers_.emplace(id, std::move(t));
+  index_.emplace(id, tslot);
+  if (t.observed) observed_.emplace(id, tslot);
   on_mutation();
   // A zero-byte transfer may already have completed inside touch().
-  if (!transfers_.empty()) ensure_polling();
+  if (!index_.empty()) ensure_polling();
   return id;
 }
 
 Bytes FluidNetwork::cancel_transfer(TransferId id) {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end()) return 0;
+  auto it = index_.find(id);
+  if (it == index_.end()) return 0;
+  const std::uint32_t tslot = it->second;
+  Transfer& t = transfer_pool_[tslot];
   // Account bytes up to this instant before dropping the transfer.
-  integrate_to_now();
-  const auto delivered = static_cast<Bytes>(it->second.delivered + kByteEps);
-  transfers_.erase(it);
+  if (t.observed) {
+    integrate_observed();
+  } else {
+    integrate_transfer(tslot);
+  }
+  const auto delivered = static_cast<Bytes>(t.delivered + kByteEps);
+  erase_transfer_slot(tslot);
   on_mutation();
   return delivered;
 }
 
+void FluidNetwork::erase_transfer_slot(std::uint32_t tslot) {
+  Transfer& t = transfer_pool_[tslot];
+  t.completion.cancel();
+  for (const std::uint32_t fslot : t.flows) remove_flow(fslot);
+  observed_.erase(t.id);
+  index_.erase(t.id);
+  t = Transfer{};
+  transfer_free_.push_back(tslot);
+}
+
 void FluidNetwork::set_flow_cap(TransferId id, std::size_t flow_index,
                                 Rate cap) {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end()) return;
-  assert(flow_index < it->second.flows.size());
-  if (it->second.flows[flow_index].cap == cap) return;
-  it->second.flows[flow_index].cap = cap;
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Transfer& t = transfer_pool_[it->second];
+  assert(flow_index < t.flows.size());
+  Flow& f = flow_pool_[t.flows[flow_index]];
+  if (f.cap == cap) return;
+  f.cap = cap;
+  mark_dirty(f.comp);
   on_mutation();
 }
 
 void FluidNetwork::set_transfer_cap(TransferId id, Rate cap) {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end()) return;
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Transfer& t = transfer_pool_[it->second];
   bool changed = false;
-  for (auto& f : it->second.flows) {
+  for (const std::uint32_t fslot : t.flows) {
+    Flow& f = flow_pool_[fslot];
     if (f.cap != cap) {
       f.cap = cap;
+      mark_dirty(f.comp);
       changed = true;
     }
   }
@@ -128,212 +453,288 @@ void FluidNetwork::set_transfer_cap(TransferId id, Rate cap) {
 }
 
 void FluidNetwork::add_flow(TransferId id, FlowSpec flow) {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end()) return;
-  Flow f;
-  f.path.reserve(flow.path.size());
-  for (const Resource* r : flow.path) f.path.push_back(r->id());
-  f.cap = flow.cap;
-  it->second.flows.push_back(std::move(f));
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::uint32_t tslot = it->second;
+  const std::uint32_t fslot = alloc_flow(flow);
+  flow_pool_[fslot].transfer = tslot;
+  transfer_pool_[tslot].flows.push_back(fslot);
+  assign_flow_component(fslot);
   on_mutation();
 }
 
 bool FluidNetwork::transfer_active(TransferId id) const {
-  return transfers_.count(id) > 0;
+  return index_.count(id) > 0;
 }
 
 Bytes FluidNetwork::transferred(TransferId id) const {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end()) return 0;
-  // Include bytes accrued since the last integration point.
-  const double dt = common::to_seconds(sim_.now() - last_integration_);
-  double v = it->second.delivered + it->second.cached_rate * dt;
-  if (it->second.total >= 0.0) v = std::min(v, it->second.total);
+  auto it = index_.find(id);
+  if (it == index_.end()) return 0;
+  const Transfer& t = transfer_pool_[it->second];
+  // Include bytes accrued since the transfer's last integration point.
+  const SimTime since = t.observed ? observed_integration_ : t.last_integrated;
+  const double dt = common::to_seconds(sim_.now() - since);
+  double v = t.delivered + t.cached_rate * dt;
+  if (t.total >= 0.0) v = std::min(v, t.total);
   return static_cast<Bytes>(v + kByteEps);
 }
 
 Bytes FluidNetwork::flow_transferred(TransferId id,
                                      std::size_t flow_index) const {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end() || flow_index >= it->second.flows.size()) return 0;
-  const auto& f = it->second.flows[flow_index];
-  const double dt = common::to_seconds(sim_.now() - last_integration_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return 0;
+  const Transfer& t = transfer_pool_[it->second];
+  if (flow_index >= t.flows.size()) return 0;
+  const Flow& f = flow_pool_[t.flows[flow_index]];
+  const SimTime since = t.observed ? observed_integration_ : t.last_integrated;
+  const double dt = common::to_seconds(sim_.now() - since);
   double v = f.delivered + f.rate * dt;
   // A single flow can never carry more than the pool holds; float accrual
   // at completion would otherwise over-report (the pool itself clamps).
-  if (it->second.total >= 0.0) v = std::min(v, it->second.total);
+  if (t.total >= 0.0) v = std::min(v, t.total);
   return static_cast<Bytes>(v + kByteEps);
 }
 
 Rate FluidNetwork::current_rate(TransferId id) const {
-  auto it = transfers_.find(id);
-  return it == transfers_.end() ? 0.0 : it->second.cached_rate;
+  auto it = index_.find(id);
+  return it == index_.end() ? 0.0 : transfer_pool_[it->second].cached_rate;
 }
 
 Rate FluidNetwork::flow_rate(TransferId id, std::size_t flow_index) const {
-  auto it = transfers_.find(id);
-  if (it == transfers_.end() || flow_index >= it->second.flows.size()) return 0.0;
-  return it->second.flows[flow_index].rate;
+  auto it = index_.find(id);
+  if (it == index_.end()) return 0.0;
+  const Transfer& t = transfer_pool_[it->second];
+  if (flow_index >= t.flows.size()) return 0.0;
+  return flow_pool_[t.flows[flow_index]].rate;
+}
+
+bool FluidNetwork::same_component(const Resource* a, const Resource* b) const {
+  if (a == nullptr || b == nullptr) return false;
+  const std::uint32_t ca = res_comp_[a->id()];
+  return ca != kNone && ca == res_comp_[b->id()];
 }
 
 void FluidNetwork::update() { touch(); }
 
-void FluidNetwork::integrate_to_now() {
+// ---- integration ----
+
+void FluidNetwork::integrate_transfer_span(Transfer& t, double dt) {
+  if (t.cached_rate <= 0.0) return;
+  double earned = 0.0;
+  for (const std::uint32_t fslot : t.flows) {
+    Flow& f = flow_pool_[fslot];
+    if (f.rate <= 0.0) continue;
+    const double d = f.rate * dt;
+    f.delivered += d;
+    earned += d;
+  }
+  if (earned <= 0.0) return;
+  // Never drain past the pool: clamp (floating error at completion).
+  if (t.total >= 0.0 && t.delivered + earned > t.total) {
+    earned = t.total - t.delivered;
+  }
+  t.delivered += earned;
+}
+
+void FluidNetwork::integrate_observed() {
   const SimTime now = sim_.now();
-  if (now <= last_integration_) return;
-  const double dt = common::to_seconds(now - last_integration_);
-  last_integration_ = now;
-  for (auto& [id, t] : transfers_) {
-    if (t.cached_rate <= 0.0) continue;
-    double earned = 0.0;
-    for (auto& f : t.flows) {
-      if (f.rate <= 0.0) continue;
-      const double d = f.rate * dt;
-      f.delivered += d;
-      earned += d;
-    }
-    if (earned <= 0.0) continue;
-    // Never drain past the pool: clamp (floating error at completion).
-    if (t.total >= 0.0 && t.delivered + earned > t.total) {
-      earned = t.total - t.delivered;
-    }
-    t.delivered += earned;
+  if (now <= observed_integration_) return;
+  const double dt = common::to_seconds(now - observed_integration_);
+  observed_integration_ = now;
+  for (const auto& [id, tslot] : observed_) {
+    integrate_transfer_span(transfer_pool_[tslot], dt);
   }
 }
 
-void FluidNetwork::reallocate() {
-  // Progressive filling (water-filling) with per-flow caps.  Every flow ends
-  // either frozen at its cap or crossing a saturated resource — the classic
-  // max-min optimality condition, asserted by the property tests against
-  // the retained reference implementation (net/fluid_reference.hpp).
-  //
-  // All per-resource state lives in flat vectors indexed by dense resource
-  // id; only ids actually crossed by a flow (touched_scratch_) are visited
-  // in the inner loop.
-  ++reallocations_;
-  const std::size_t n_res = resources_by_id_.size();
-  usage_scratch_.resize(n_res);
-  cap_scratch_.resize(n_res);
-  unfrozen_scratch_.resize(n_res);
-  touched_mark_.resize(n_res, 0);
-  touched_scratch_.clear();
+void FluidNetwork::integrate_transfer(std::uint32_t tslot) {
+  Transfer& t = transfer_pool_[tslot];
+  const SimTime now = sim_.now();
+  if (now <= t.last_integrated) return;
+  const double dt = common::to_seconds(now - t.last_integrated);
+  t.last_integrated = now;
+  integrate_transfer_span(t, dt);
+}
+
+// ---- solving ----
+
+void FluidNetwork::update_resource_gauge(Resource* res) {
+  const double used = res->background_ + foreground_[res->id_];
+  const double util =
+      res->nominal_ > 0.0 ? std::min(1.0, used / res->nominal_) : 0.0;
+  if (util == res->utilization_) return;
+  res->utilization_ = util;
+  res->util_gauge_->set(util);
+  ++util_gauge_updates_;
+}
+
+void FluidNetwork::solve_component(std::uint32_t cid) {
+  // Progressive filling (water-filling) with per-flow caps, restricted to
+  // one connected component.  Every flow ends either frozen at its cap or
+  // crossing a saturated resource — the classic max-min optimality
+  // condition, asserted by the property tests against the retained
+  // reference implementation (net/fluid_reference.hpp).  The arithmetic is
+  // iteration-order independent within a round, so a single-component world
+  // reproduces the pre-partitioned global solver bit-for-bit.
+  Component& c = comp_pool_[cid];
+
+  // Integrate the component's headless transfers at their outgoing rates
+  // before those rates change (observed transfers were already integrated
+  // by the touch's shared pass).
+  ++mark_epoch_;
+  transfer_scratch_.clear();
+  for (const std::uint32_t fslot : c.flows) {
+    const std::uint32_t tslot = flow_pool_[fslot].transfer;
+    if (transfer_mark_[tslot] == mark_epoch_) continue;
+    transfer_mark_[tslot] = mark_epoch_;
+    transfer_scratch_.push_back(tslot);
+    if (!transfer_pool_[tslot].observed) integrate_transfer(tslot);
+  }
 
   entries_scratch_.clear();
-  for (auto& [id, t] : transfers_) {
-    for (auto& f : t.flows) {
-      f.rate = 0.0;
-      entries_scratch_.push_back(SolverEntry{&f, false});
+  for (const std::uint32_t fslot : c.flows) {
+    flow_pool_[fslot].rate = 0.0;
+    entries_scratch_.push_back(SolverEntry{fslot, false});
+  }
+  for (const std::uint32_t rid : c.resources) {
+    usage_scratch_[rid] = 0.0;
+    unfrozen_scratch_[rid] = 0;
+    cap_scratch_[rid] = resources_by_id_[rid]->effective_capacity();
+  }
+  for (const auto& e : entries_scratch_) {
+    const Flow& f = flow_pool_[e.fslot];
+    for (std::uint32_t k = 0; k < f.path_len; ++k) {
+      ++unfrozen_scratch_[path_pool_[f.path_begin + k]];
     }
   }
 
-  if (!entries_scratch_.empty()) {
+  std::size_t unfrozen = entries_scratch_.size();
+  while (unfrozen > 0) {
+    // The largest uniform rate increase every unfrozen flow can take.
+    double delta = std::numeric_limits<double>::infinity();
     for (const auto& e : entries_scratch_) {
-      for (const std::uint32_t rid : e.flow->path) {
-        if (!touched_mark_[rid]) {
-          touched_mark_[rid] = 1;
-          touched_scratch_.push_back(rid);
-          usage_scratch_[rid] = 0.0;
-          unfrozen_scratch_[rid] = 0;
-          cap_scratch_[rid] = resources_by_id_[rid]->effective_capacity();
-        }
-        ++unfrozen_scratch_[rid];
-      }
+      if (e.frozen) continue;
+      const Flow& f = flow_pool_[e.fslot];
+      delta = std::min(delta, f.cap - f.rate);
     }
-
-    std::size_t unfrozen = entries_scratch_.size();
-    while (unfrozen > 0) {
-      // The largest uniform rate increase every unfrozen flow can take.
-      double delta = std::numeric_limits<double>::infinity();
-      for (const auto& e : entries_scratch_) {
-        if (e.frozen) continue;
-        delta = std::min(delta, e.flow->cap - e.flow->rate);
-      }
-      for (const std::uint32_t rid : touched_scratch_) {
-        const int n = unfrozen_scratch_[rid];
-        if (n <= 0) continue;
-        const double room = cap_scratch_[rid] - usage_scratch_[rid];
-        delta = std::min(delta, room / n);
-      }
-      if (!std::isfinite(delta)) {
-        // No cap and no resource constrains these flows; they are idle paths
-        // in tests.  Freeze at an arbitrarily large rate.
-        for (auto& e : entries_scratch_) {
-          if (!e.frozen) {
-            e.flow->rate = e.flow->cap;  // cap is infinite here; harmless
-            e.frozen = true;
-          }
-        }
-        break;
-      }
-      delta = std::max(0.0, delta);
-      if (delta > 0.0) {
-        for (auto& e : entries_scratch_) {
-          if (e.frozen) continue;
-          e.flow->rate += delta;
-          for (const std::uint32_t rid : e.flow->path) {
-            usage_scratch_[rid] += delta;
-          }
+    for (const std::uint32_t rid : c.resources) {
+      const int n = unfrozen_scratch_[rid];
+      if (n <= 0) continue;
+      const double room = cap_scratch_[rid] - usage_scratch_[rid];
+      delta = std::min(delta, room / n);
+    }
+    if (!std::isfinite(delta)) {
+      // No cap and no resource constrains these flows; they are idle paths
+      // in tests.  Freeze at an arbitrarily large rate.
+      for (auto& e : entries_scratch_) {
+        if (!e.frozen) {
+          Flow& f = flow_pool_[e.fslot];
+          f.rate = f.cap;  // cap is infinite here; harmless
+          e.frozen = true;
         }
       }
-      // Freeze flows at their cap or crossing a saturated resource.
-      bool any_frozen = false;
+      break;
+    }
+    delta = std::max(0.0, delta);
+    if (delta > 0.0) {
       for (auto& e : entries_scratch_) {
         if (e.frozen) continue;
-        bool freeze = e.flow->rate >= e.flow->cap - kRateEps;
-        if (!freeze) {
-          for (const std::uint32_t rid : e.flow->path) {
-            if (usage_scratch_[rid] >= cap_scratch_[rid] - kRateEps) {
-              freeze = true;
-              break;
-            }
-          }
+        Flow& f = flow_pool_[e.fslot];
+        f.rate += delta;
+        for (std::uint32_t k = 0; k < f.path_len; ++k) {
+          usage_scratch_[path_pool_[f.path_begin + k]] += delta;
         }
-        if (freeze) {
-          e.frozen = true;
-          any_frozen = true;
-          --unfrozen;
-          for (const std::uint32_t rid : e.flow->path) {
-            --unfrozen_scratch_[rid];
+      }
+    }
+    // Freeze flows at their cap or crossing a saturated resource.
+    bool any_frozen = false;
+    for (auto& e : entries_scratch_) {
+      if (e.frozen) continue;
+      Flow& f = flow_pool_[e.fslot];
+      bool freeze = f.rate >= f.cap - kRateEps;
+      if (!freeze) {
+        for (std::uint32_t k = 0; k < f.path_len; ++k) {
+          const std::uint32_t rid = path_pool_[f.path_begin + k];
+          if (usage_scratch_[rid] >= cap_scratch_[rid] - kRateEps) {
+            freeze = true;
+            break;
           }
         }
       }
-      if (!any_frozen) break;  // numerical safety: guarantee progress
+      if (freeze) {
+        e.frozen = true;
+        any_frozen = true;
+        --unfrozen;
+        for (std::uint32_t k = 0; k < f.path_len; ++k) {
+          --unfrozen_scratch_[path_pool_[f.path_begin + k]];
+        }
+      }
     }
+    if (!any_frozen) break;  // numerical safety: guarantee progress
+  }
+
+  // Publish the component's foreground usage (write-on-change gauges).
+  for (const std::uint32_t rid : c.resources) {
+    foreground_[rid] = usage_scratch_[rid];
+    update_resource_gauge(resources_by_id_[rid]);
   }
 
   // Refresh the per-transfer aggregate cache the rest of the network (rate
-  // queries, completion prediction, byte integration) reads.
-  for (auto& [id, t] : transfers_) {
+  // queries, completion prediction, byte integration) reads, and keep the
+  // headless completion events honest.
+  for (const std::uint32_t tslot : transfer_scratch_) {
+    Transfer& t = transfer_pool_[tslot];
+    const Rate before = t.cached_rate;
     Rate sum = 0.0;
-    for (const auto& f : t.flows) sum += f.rate;
+    for (const std::uint32_t fslot : t.flows) sum += flow_pool_[fslot].rate;
     t.cached_rate = sum;
+    if (t.observed || t.total < 0.0) continue;
+    if (t.remaining() <= kByteEps) {
+      // Already drained (zero-byte transfers, completion races): finish it
+      // within this touch rather than waiting for an event.
+      due_headless_.emplace_back(tslot, t.id);
+      dirty_ = true;
+    } else if (t.cached_rate != before || !t.completion.pending()) {
+      schedule_headless_completion(tslot);
+    }
   }
 
-  publish_utilization();
-  for (const std::uint32_t rid : touched_scratch_) touched_mark_[rid] = 0;
+  ++component_solves_;
+  flows_solved_total_ += c.flows.size();
+  last_solve_flows_ = c.flows.size();
+  max_solve_flows_ = std::max(max_solve_flows_, c.flows.size());
+  solve_size_gauge_->set(static_cast<double>(c.flows.size()));
 }
 
-void FluidNetwork::publish_utilization() {
-  // Runs only after a solve; touched_mark_/usage_scratch_ still hold the
-  // foreground usage.  Gauges are written only when the value moved so
-  // steady-state reallocations do not churn the metrics registry.
-  for (Resource* res : resources_by_id_) {
-    const double foreground =
-        touched_mark_[res->id_] ? usage_scratch_[res->id_] : 0.0;
-    const double used = res->background_ + foreground;
-    const double util =
-        res->nominal_ > 0.0 ? std::min(1.0, used / res->nominal_) : 0.0;
-    if (util == res->utilization_) continue;
-    res->utilization_ = util;
-    res->util_gauge_->set(util);
-    ++util_gauge_updates_;
+void FluidNetwork::solve_dirty_components() {
+  std::swap(dirty_comps_, dirty_scratch_);
+  dirty_comps_.clear();
+  // Index loop: rebuild splits append their new components to the worklist.
+  for (std::size_t i = 0; i < dirty_scratch_.size(); ++i) {
+    const std::uint32_t cid = dirty_scratch_[i];
+    if (!comp_pool_[cid].live || !comp_pool_[cid].dirty) continue;  // merged away
+    if (comp_pool_[cid].needs_rebuild) {
+      rebuild_component(cid, dirty_scratch_);
+    }
+    solve_component(cid);
+    comp_pool_[cid].dirty = false;
   }
+  dirty_scratch_.clear();
+  // Resources with no flows whose background/capacity/down state changed:
+  // the legacy solver refreshed every gauge after each solve, so mirror
+  // that for the ones no component covers.
+  for (Resource* res : pending_res_) update_resource_gauge(res);
+  pending_res_.clear();
 }
+
+// ---- events ----
 
 void FluidNetwork::schedule_next_event() {
+  // Shared completion event over the observed set, recomputed after every
+  // solve with the legacy formula so observed timelines replay unchanged.
   next_event_.cancel();
   double earliest = std::numeric_limits<double>::infinity();
-  for (const auto& [id, t] : transfers_) {
+  for (const auto& [id, tslot] : observed_) {
+    const Transfer& t = transfer_pool_[tslot];
     const double rem = t.remaining();
     if (!std::isfinite(rem)) continue;
     if (t.cached_rate <= kRateEps) continue;
@@ -346,6 +747,25 @@ void FluidNetwork::schedule_next_event() {
                                     [this] { touch(); });
 }
 
+void FluidNetwork::schedule_headless_completion(std::uint32_t tslot) {
+  Transfer& t = transfer_pool_[tslot];
+  t.completion.cancel();
+  if (t.cached_rate <= kRateEps) return;
+  const double rem = t.remaining();
+  const auto delay = static_cast<SimDuration>(
+      std::ceil(rem / t.cached_rate * static_cast<double>(common::kSecond)));
+  const TransferId id = t.id;
+  t.completion = sim_.schedule_after(
+      std::max<SimDuration>(0, delay),
+      [this, tslot, id] { on_headless_due(tslot, id); });
+}
+
+void FluidNetwork::on_headless_due(std::uint32_t tslot, TransferId id) {
+  if (tslot >= transfer_pool_.size() || transfer_pool_[tslot].id != id) return;
+  due_headless_.emplace_back(tslot, id);
+  touch();
+}
+
 void FluidNetwork::touch() {
   if (in_touch_) {
     dirty_ = true;
@@ -355,13 +775,14 @@ void FluidNetwork::touch() {
   ++touches_;
   do {
     dirty_ = false;
-    integrate_to_now();
+    integrate_observed();
 
     // Surface progress and collect completions before reallocating, since
     // completion callbacks typically start follow-on transfers.
     completed_scratch_.clear();
     notify_scratch_.clear();
-    for (auto& [id, t] : transfers_) {
+    for (const auto& [id, tslot] : observed_) {
+      Transfer& t = transfer_pool_[tslot];
       const double delta = t.delivered - t.reported;
       if (delta >= 1.0 && t.callbacks.on_progress) {
         const auto whole = static_cast<Bytes>(delta);
@@ -379,27 +800,49 @@ void FluidNetwork::touch() {
       }
     }
     if (!completed_scratch_.empty()) rates_dirty_ = true;
-    for (TransferId id : completed_scratch_) transfers_.erase(id);
+    for (const TransferId id : completed_scratch_) {
+      erase_transfer_slot(index_.at(id));
+    }
+    // Headless transfers whose predicted completion arrived.
+    if (!due_headless_.empty()) {
+      std::swap(due_headless_, due_scratch_);
+      due_headless_.clear();
+      for (const auto& [tslot, id] : due_scratch_) {
+        if (tslot >= transfer_pool_.size() || transfer_pool_[tslot].id != id) {
+          continue;  // already gone (cancelled or duplicate notification)
+        }
+        integrate_transfer(tslot);
+        Transfer& t = transfer_pool_[tslot];
+        if (t.remaining() <= kByteEps) {
+          rates_dirty_ = true;
+          erase_transfer_slot(tslot);
+        } else if (t.cached_rate > kRateEps) {
+          schedule_headless_completion(tslot);  // stale prediction: re-arm
+        }
+      }
+      due_scratch_.clear();
+    }
     for (auto& fn : notify_scratch_) fn();  // may re-enter touch(); sets dirty_
 
     // The incremental fast path: when no flow set, cap, capacity or
     // background changed, current rates — and the already-scheduled
-    // next-completion event — are still exact.  Poll ticks and
-    // pure-progress touches stop here without running the solver.
+    // completion events — are still exact.  Poll ticks and pure-progress
+    // touches stop here without running the solver.
     if (rates_dirty_) {
       rates_dirty_ = false;
-      reallocate();
+      ++reallocations_;
+      solve_dirty_components();
       schedule_next_event();
     }
   } while (dirty_);
   in_touch_ = false;
-  if (transfers_.empty()) poll_event_.cancel();
+  if (index_.empty()) poll_event_.cancel();
 }
 
 void FluidNetwork::ensure_polling() {
   if (poll_interval_ <= 0 || poll_event_.pending()) return;
   poll_event_ = sim_.schedule_every(poll_interval_, [this] {
-    if (transfers_.empty()) return false;  // stop ticking when idle
+    if (index_.empty()) return false;  // stop ticking when idle
     touch();
     return true;
   });

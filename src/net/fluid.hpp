@@ -17,25 +17,41 @@
 // periodic poll that gives the bandwidth samplers their 100 ms resolution
 // (Table 1 reports a peak over 0.1 s).
 //
-// The solver is built for thousands of concurrent flows:
+// The solver is built for a hundred thousand concurrent flows:
 //
-//  * Dense indexing — resources are interned to small integer ids at
-//    add_resource() time; flow paths are id arrays and all per-resource
-//    solver state lives in flat vectors reused across invocations, so the
-//    inner water-filling loop never touches a std::map.
-//  * Incremental reallocation — a rates-dirty flag tracks whether any
-//    flow/cap/capacity/background changed since the last solve.  Poll ticks
-//    and pure-progress touches integrate byte counts and fire progress
-//    callbacks without re-running the solver or rescheduling the (still
-//    valid) next-completion event.
+//  * Component partitioning — the flow/resource bipartite graph is kept
+//    decomposed into connected components.  A mutation dirties only the
+//    component it lands in, and a solve walks only that component's flows,
+//    so the cost of a cap change on one island of the network is bounded by
+//    the island's size, not the fleet's.  Components merge eagerly when a
+//    new flow bridges them and split lazily (union-find rebuild at the next
+//    solve) when a flow removal disconnects them.
+//  * Flat arena storage — flows live in one contiguous pool, their paths in
+//    one shared id array (offset + length per flow), transfers in a slotted
+//    pool; a component re-solve walks contiguous memory and performs zero
+//    heap allocations in steady state.
+//  * Observed vs headless transfers — a transfer with callbacks ("observed")
+//    keeps the exact legacy timeline: integrated at every touch, progress
+//    surfaced at every poll tick, one shared next-completion event over the
+//    observed set.  A callback-free transfer ("headless") is integrated
+//    lazily against its own clock and completes through a per-transfer event
+//    in the simulation's calendar queue, so a million idle flows cost
+//    nothing per touch.  You pay per touch only for what you watch.
+//  * Incremental reallocation — a rates-dirty flag plus per-component dirty
+//    flags track whether any flow/cap/capacity/background changed since the
+//    last solve.  Poll ticks and pure-progress touches integrate byte
+//    counts and fire progress callbacks without re-running the solver.
 //  * Coalesced bookkeeping — each transfer caches its aggregate rate
 //    (refreshed by the solver), utilization gauges are written only when a
 //    value changes, and batch()/set_transfer_cap() fold multi-mutation
 //    updates into one solve.
 //
-// The pre-dense solver is retained verbatim in net/fluid_reference.hpp; the
-// property tests assert rate-vector equivalence and bench_fluid_scale tracks
-// the speedup.
+// Within one component the water-filling arithmetic is iteration-order
+// independent, so a single-component world produces bit-identical rates to
+// the pre-partitioned global solver — the flight-recorder digests of the
+// checked-in bench baselines replay unchanged.  The pre-dense solver is
+// retained verbatim in net/fluid_reference.hpp; the property tests assert
+// rate-vector equivalence and bench_fluid_scale tracks the speedup.
 #pragma once
 
 #include <cstdint>
@@ -179,37 +195,71 @@ class FluidNetwork {
   /// Current rate of one member flow.
   Rate flow_rate(TransferId id, std::size_t flow_index) const;
 
-  std::size_t active_transfers() const { return transfers_.size(); }
+  std::size_t active_transfers() const { return index_.size(); }
 
   /// Force integration + reallocation-if-dirty now (tests use this).
   void update();
 
   // ---- introspection (tests + bench_fluid_scale) ----
 
-  /// How many times the water-filling solver has run.  Steady-state poll
-  /// ticks must not advance this.
+  /// How many touches triggered the solver.  Steady-state poll ticks must
+  /// not advance this.
   std::uint64_t reallocations() const { return reallocations_; }
   /// How many touches (integration passes) have run.
   std::uint64_t touches() const { return touches_; }
   /// How many utilization gauge writes actually happened (value changes).
   std::uint64_t util_gauge_updates() const { return util_gauge_updates_; }
 
+  /// Connected components currently live over the flow/resource graph
+  /// (mirrored into the `net_components` gauge).
+  std::size_t components() const { return live_components_; }
+  /// Individual component solves (one touch may solve several components).
+  std::uint64_t component_solves() const { return component_solves_; }
+  /// Total flows walked by all component solves — the real work metric.
+  /// An isolated mutation advances this by the touched component's size,
+  /// not the network's flow count.
+  std::uint64_t flows_solved_total() const { return flows_solved_total_; }
+  /// Flow count of the most recent component solve.
+  std::size_t last_solve_flows() const { return last_solve_flows_; }
+  /// Largest component solved since the last reset_solve_stats().
+  std::size_t max_solve_flows() const { return max_solve_flows_; }
+  void reset_solve_stats() {
+    last_solve_flows_ = 0;
+    max_solve_flows_ = 0;
+  }
+  /// Lazy union-find rebuilds triggered by flow removals.
+  std::uint64_t component_rebuilds() const { return rebuilds_; }
+  /// Whether two resources currently sit in the same connected component
+  /// (false when either carries no flow).
+  bool same_component(const Resource* a, const Resource* b) const;
+
  private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  // ---- flat arenas ----
+
   struct Flow {
-    std::vector<std::uint32_t> path;  // dense resource ids
+    std::uint32_t path_begin = 0;  // offset into path_pool_
+    std::uint32_t path_len = 0;
+    std::uint32_t transfer = kNone;       // transfer pool slot
+    std::uint32_t comp = kNone;           // owning component
+    std::uint32_t index_in_comp = kNone;  // position in comp's flow list
     Rate cap = kUnlimitedRate;
     Rate rate = 0.0;
     double delivered = 0.0;  // bytes carried by this flow
   };
 
   struct Transfer {
-    TransferId id = 0;
-    std::vector<Flow> flows;
+    TransferId id = 0;  // 0 = free slot
+    std::vector<std::uint32_t> flows;  // flow pool slots
     double total = -1.0;      // <0: unbounded
     double delivered = 0.0;   // bytes drained from the pool
     double reported = 0.0;    // bytes already surfaced via on_progress
     Rate cached_rate = 0.0;   // aggregate flow rate, refreshed by the solver
+    SimTime last_integrated = 0;  // headless: private integration clock
+    bool observed = false;        // has progress/completion callbacks
     TransferCallbacks callbacks;
+    sim::EventHandle completion;  // headless bounded: own completion event
 
     double remaining() const {
       return total < 0 ? std::numeric_limits<double>::infinity()
@@ -217,10 +267,42 @@ class FluidNetwork {
     }
   };
 
-  void integrate_to_now();
-  void reallocate();
-  void publish_utilization();  // reads the solver's usage scratch
-  void schedule_next_event();
+  /// One connected component of the flow/resource bipartite graph.
+  struct Component {
+    std::vector<std::uint32_t> flows;      // flow pool slots
+    std::vector<std::uint32_t> resources;  // distinct resource ids
+    bool live = false;
+    bool dirty = false;          // needs a re-solve
+    bool needs_rebuild = false;  // a flow was removed: may have split
+  };
+
+  // ---- internals ----
+
+  std::uint32_t alloc_flow(const FlowSpec& spec);
+  void free_flow(std::uint32_t fslot);
+  std::uint32_t path_alloc(std::uint32_t len);
+  std::uint32_t alloc_comp();
+  void free_comp(std::uint32_t cid);
+  void mark_dirty(std::uint32_t cid);
+  /// Attach a freshly created flow to the component structure, merging every
+  /// component its path bridges (smaller absorbed into largest).
+  void assign_flow_component(std::uint32_t fslot);
+  /// Detach a flow on removal; flags the component for a lazy rebuild.
+  void remove_flow(std::uint32_t fslot);
+  /// Union-find re-derivation of one rebuild-flagged component; appends any
+  /// split-off components (already dirty) to `worklist`.
+  void rebuild_component(std::uint32_t cid, std::vector<std::uint32_t>& worklist);
+
+  void integrate_observed();
+  void integrate_transfer(std::uint32_t tslot);
+  void integrate_transfer_span(Transfer& t, double dt);
+  void solve_dirty_components();
+  void solve_component(std::uint32_t cid);
+  void update_resource_gauge(Resource* res);
+  void schedule_next_event();  // observed transfers' shared completion event
+  void schedule_headless_completion(std::uint32_t tslot);
+  void on_headless_due(std::uint32_t tslot, TransferId id);
+  void erase_transfer_slot(std::uint32_t tslot);
   void touch();  // integrate, run completions, reallocate-if-dirty, reschedule
   void ensure_polling();
   /// Record a rate-affecting change; solves immediately unless inside
@@ -231,9 +313,27 @@ class FluidNetwork {
   SimDuration poll_interval_;
   std::map<std::string, std::unique_ptr<Resource>> resources_;
   std::vector<Resource*> resources_by_id_;  // dense id -> resource
-  std::map<TransferId, Transfer> transfers_;
+
+  // Arenas.
+  std::vector<Flow> flow_pool_;
+  std::vector<std::uint32_t> flow_free_;
+  std::vector<std::uint32_t> path_pool_;  // concatenated resource-id paths
+  std::map<std::uint32_t, std::vector<std::uint32_t>> path_free_;  // by length
+  std::vector<Transfer> transfer_pool_;
+  std::vector<std::uint32_t> transfer_free_;
+  std::vector<Component> comp_pool_;
+  std::vector<std::uint32_t> comp_free_;
+
+  // Indexes.
+  std::map<TransferId, std::uint32_t> index_;     // all transfers, id order
+  std::map<TransferId, std::uint32_t> observed_;  // callback-carrying subset
+  std::vector<std::uint32_t> res_comp_;     // resource id -> component
+  std::vector<double> foreground_;          // resource id -> allocated rate
+  std::vector<std::uint32_t> dirty_comps_;
+  std::size_t live_components_ = 0;
+
   TransferId next_id_ = 1;
-  SimTime last_integration_ = 0;
+  SimTime observed_integration_ = 0;  // shared clock of the observed set
   sim::EventHandle next_event_;
   sim::EventHandle poll_event_;
   bool in_touch_ = false;
@@ -243,21 +343,40 @@ class FluidNetwork {
   std::uint64_t reallocations_ = 0;
   std::uint64_t touches_ = 0;
   std::uint64_t util_gauge_updates_ = 0;
+  std::uint64_t component_solves_ = 0;
+  std::uint64_t flows_solved_total_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::size_t last_solve_flows_ = 0;
+  std::size_t max_solve_flows_ = 0;
+  obs::Gauge* components_gauge_ = nullptr;  // net_components
+  obs::Gauge* solve_size_gauge_ = nullptr;  // net_component_solve_size
 
-  // Solver scratch, reused across reallocations (indexed by resource id).
+  // Solver scratch, reused across solves (indexed by resource id where
+  // applicable) — steady-state solves never allocate.
   struct SolverEntry {
-    Flow* flow;
+    std::uint32_t fslot;
     bool frozen = false;
   };
   std::vector<SolverEntry> entries_scratch_;
   std::vector<double> usage_scratch_;
   std::vector<double> cap_scratch_;
   std::vector<int> unfrozen_scratch_;
-  std::vector<std::uint32_t> touched_scratch_;  // ids used by any flow
-  std::vector<std::uint8_t> touched_mark_;      // 0/1 per id, cleared on exit
+  // Epoch-marked scratch (avoids O(pool) clears per solve).
+  std::vector<std::uint64_t> transfer_mark_;
+  std::vector<std::uint64_t> comp_mark_;
+  std::vector<std::uint64_t> res_mark_;
+  std::uint64_t mark_epoch_ = 0;
+  std::vector<std::uint32_t> transfer_scratch_;  // distinct transfers of a comp
+  std::vector<std::uint32_t> merge_scratch_;     // distinct comps of a path
+  std::vector<std::uint32_t> uf_parent_;         // rebuild union-find, by rid
+  std::vector<std::uint32_t> dirty_scratch_;     // solve worklist
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> group_scratch_;
+  std::vector<Resource*> pending_res_;  // flowless resources with gauge edits
   // Touch scratch (safe to reuse: touch never runs re-entrantly).
   std::vector<TransferId> completed_scratch_;
   std::vector<std::function<void()>> notify_scratch_;
+  std::vector<std::pair<std::uint32_t, TransferId>> due_headless_;
+  std::vector<std::pair<std::uint32_t, TransferId>> due_scratch_;
 };
 
 }  // namespace esg::net

@@ -292,6 +292,247 @@ TEST(FluidScale, FlowTransferredClampedToPool) {
   EXPECT_FALSE(fluid.transfer_active(id));
 }
 
+// ---------- component partitioning ----------
+
+namespace {
+
+// Two disjoint two-resource islands with one intra-island transfer each.
+struct TwoIslands {
+  en::Resource* a1;
+  en::Resource* a2;
+  en::Resource* b1;
+  en::Resource* b2;
+  en::TransferId ta;
+  en::TransferId tb;
+};
+
+TwoIslands make_two_islands(en::FluidNetwork& fluid) {
+  TwoIslands w;
+  w.a1 = fluid.add_resource("a1", 1'000'000);
+  w.a2 = fluid.add_resource("a2", 2'000'000);
+  w.b1 = fluid.add_resource("b1", 3'000'000);
+  w.b2 = fluid.add_resource("b2", 4'000'000);
+  w.ta = fluid.start_transfer({en::FlowSpec{{w.a1, w.a2}, en::kUnlimitedRate},
+                               en::FlowSpec{{w.a2}, 600'000}},
+                              en::kUnboundedBytes, {});
+  w.tb = fluid.start_transfer({en::FlowSpec{{w.b1, w.b2}, en::kUnlimitedRate}},
+                              en::kUnboundedBytes, {});
+  return w;
+}
+
+}  // namespace
+
+TEST(FluidComponents, IsolatedMutationTouchesOnlyItsIsland) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  const TwoIslands w = make_two_islands(fluid);
+
+  EXPECT_EQ(fluid.components(), 2u);
+  EXPECT_TRUE(fluid.same_component(w.a1, w.a2));
+  EXPECT_TRUE(fluid.same_component(w.b1, w.b2));
+  EXPECT_FALSE(fluid.same_component(w.a1, w.b1));
+
+  // Island B's rates must not move — not even in the last bit — when a
+  // mutation lands in island A: B's component is never re-solved.
+  const double b_rate_before = fluid.flow_rate(w.tb, 0);
+  fluid.reset_solve_stats();
+  const std::uint64_t solved_before = fluid.flows_solved_total();
+
+  fluid.set_flow_cap(w.ta, 1, 400'000);
+
+  EXPECT_EQ(fluid.last_solve_flows(), 2u)
+      << "the solve must walk island A's two flows only";
+  EXPECT_EQ(fluid.max_solve_flows(), 2u);
+  EXPECT_EQ(fluid.flows_solved_total(), solved_before + 2);
+  EXPECT_EQ(fluid.flow_rate(w.tb, 0), b_rate_before)
+      << "island B's rate vector must be bitwise untouched";
+  EXPECT_NEAR(fluid.flow_rate(w.ta, 1), 400'000.0, 1.0);
+}
+
+TEST(FluidComponents, BridgeFlowMergesIslands) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  const TwoIslands w = make_two_islands(fluid);
+  ASSERT_EQ(fluid.components(), 2u);
+
+  // A flow crossing a2 and b1 welds the two islands into one component.
+  const auto bridge = fluid.start_transfer(
+      {en::FlowSpec{{w.a2, w.b1}, en::kUnlimitedRate}}, en::kUnboundedBytes,
+      {});
+  EXPECT_EQ(fluid.components(), 1u);
+  EXPECT_TRUE(fluid.same_component(w.a1, w.b2));
+
+  // A mutation anywhere now solves the merged component (4 flows).
+  fluid.reset_solve_stats();
+  fluid.set_flow_cap(w.ta, 1, 500'000);
+  EXPECT_EQ(fluid.last_solve_flows(), 4u);
+  (void)bridge;
+}
+
+TEST(FluidComponents, RemovingBridgeSplitsIslandsAgain) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  const TwoIslands w = make_two_islands(fluid);
+  const auto bridge = fluid.start_transfer(
+      {en::FlowSpec{{w.a2, w.b1}, en::kUnlimitedRate}}, en::kUnboundedBytes,
+      {});
+  ASSERT_EQ(fluid.components(), 1u);
+
+  const std::uint64_t rebuilds_before = fluid.component_rebuilds();
+  fluid.cancel_transfer(bridge);
+
+  EXPECT_GT(fluid.component_rebuilds(), rebuilds_before)
+      << "removing the bridge must trigger a lazy union-find rebuild";
+  EXPECT_EQ(fluid.components(), 2u);
+  EXPECT_TRUE(fluid.same_component(w.a1, w.a2));
+  EXPECT_FALSE(fluid.same_component(w.a1, w.b1));
+
+  // Isolation is restored: an island-A mutation leaves island B alone.
+  const double b_rate = fluid.flow_rate(w.tb, 0);
+  fluid.reset_solve_stats();
+  fluid.set_flow_cap(w.ta, 1, 300'000);
+  EXPECT_EQ(fluid.last_solve_flows(), 2u);
+  EXPECT_EQ(fluid.flow_rate(w.tb, 0), b_rate);
+}
+
+TEST(FluidComponents, CancellingLastTransferRetiresComponent) {
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+  const TwoIslands w = make_two_islands(fluid);
+  ASSERT_EQ(fluid.components(), 2u);
+  fluid.cancel_transfer(w.ta);
+  EXPECT_EQ(fluid.components(), 1u);
+  EXPECT_FALSE(fluid.same_component(w.a1, w.a2))
+      << "resources with no flows belong to no component";
+  fluid.cancel_transfer(w.tb);
+  EXPECT_EQ(fluid.components(), 0u);
+}
+
+// Randomized merge/split churn: island-local transfers come and go, bridge
+// transfers weld islands together and their cancellation splits them apart.
+// After every round the full rate vector must match the reference solver run
+// over the same population.
+class FluidComponentChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidComponentChurn, EquivalenceUnderMergeSplitChurn) {
+  ec::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull +
+              1442695040888963407ull);
+  es::Simulation sim;
+  en::FluidNetwork fluid(sim);
+
+  constexpr int kIslands = 4;
+  constexpr int kPerIsland = 3;
+  std::vector<std::vector<en::Resource*>> islands(kIslands);
+  for (int i = 0; i < kIslands; ++i) {
+    for (int j = 0; j < kPerIsland; ++j) {
+      islands[i].push_back(
+          fluid.add_resource("i" + std::to_string(i) + "r" + std::to_string(j),
+                             rng.uniform(5e5, 5e6)));
+    }
+  }
+
+  auto island_path = [&](int i) {
+    std::vector<const en::Resource*> path;
+    for (auto* r : islands[i]) {
+      if (rng.uniform() < 0.6) path.push_back(r);
+    }
+    if (path.empty()) path.push_back(islands[i][0]);
+    return path;
+  };
+  auto random_cap = [&]() -> en::Rate {
+    return rng.uniform() < 0.4 ? rng.uniform(1e5, 2e6) : en::kUnlimitedRate;
+  };
+
+  std::vector<TransferMirror> mirrors;
+  auto start_mirrored = [&](std::vector<FlowMirror> flows) {
+    TransferMirror m;
+    std::vector<en::FlowSpec> specs;
+    for (auto& fm : flows) {
+      specs.push_back(en::FlowSpec{fm.path, fm.cap});
+      m.flows.push_back(std::move(fm));
+    }
+    m.id = fluid.start_transfer(std::move(specs), en::kUnboundedBytes, {});
+    mirrors.push_back(std::move(m));
+  };
+
+  for (int i = 0; i < kIslands; ++i) {
+    start_mirrored({{island_path(i), random_cap()}});
+    start_mirrored({{island_path(i), random_cap()}, {island_path(i), random_cap()}});
+  }
+
+  auto check_equivalence = [&] {
+    fluid.update();
+    std::vector<en::ReferenceFlow> ref;
+    for (const auto& m : mirrors) {
+      for (const auto& f : m.flows) {
+        ref.push_back(en::ReferenceFlow{f.path, f.cap, 0.0});
+      }
+    }
+    en::reference_waterfill(ref);
+    std::size_t k = 0;
+    for (const auto& m : mirrors) {
+      for (std::size_t j = 0; j < m.flows.size(); ++j, ++k) {
+        const double dense = fluid.flow_rate(m.id, j);
+        const double reference = ref[k].rate;
+        ASSERT_TRUE(std::isfinite(dense));
+        ASSERT_NEAR(dense, reference, rate_tolerance(reference))
+            << "transfer " << m.id << " flow " << j;
+      }
+    }
+  };
+  check_equivalence();
+
+  for (int round = 0; round < 10; ++round) {
+    switch (rng.uniform_int(6)) {
+      case 0: {  // start an island-local transfer
+        start_mirrored({{island_path(rng.uniform_int(kIslands)), random_cap()}});
+        break;
+      }
+      case 1: {  // start a bridge transfer welding two islands
+        const int i = static_cast<int>(rng.uniform_int(kIslands));
+        const int j = (i + 1 + static_cast<int>(rng.uniform_int(kIslands - 1))) %
+                      kIslands;
+        auto path = island_path(i);
+        for (const auto* r : island_path(j)) path.push_back(r);
+        start_mirrored({{std::move(path), random_cap()}});
+        break;
+      }
+      case 2: {  // cancel a random transfer (may split a merged component)
+        if (mirrors.size() <= 2) break;
+        const auto k = rng.uniform_int(mirrors.size());
+        fluid.cancel_transfer(mirrors[k].id);
+        mirrors.erase(mirrors.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 3: {  // cap change
+        auto& m = mirrors[rng.uniform_int(mirrors.size())];
+        const auto j = rng.uniform_int(m.flows.size());
+        const en::Rate cap = random_cap();
+        m.flows[j].cap = cap;
+        fluid.set_flow_cap(m.id, j, cap);
+        break;
+      }
+      case 4: {  // capacity change on a random resource
+        auto& isl = islands[rng.uniform_int(kIslands)];
+        fluid.set_capacity(isl[rng.uniform_int(isl.size())],
+                           rng.uniform(5e5, 5e6));
+        break;
+      }
+      case 5: {  // advance across poll ticks
+        sim.run_until(sim.now() + static_cast<ec::SimDuration>(
+                                      rng.uniform(0.05, 0.4) * kSecond));
+        break;
+      }
+    }
+    check_equivalence();
+    EXPECT_LE(fluid.components(),
+              static_cast<std::size_t>(kIslands) + mirrors.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChurn, FluidComponentChurn,
+                         ::testing::Range(1, 31));
+
 // ---------- simulation queue hygiene ----------
 
 TEST(SimulationQueue, LazyCancelledEventsArePurged) {
@@ -332,4 +573,61 @@ TEST(SimulationQueue, PurgeKeepsLiveEventsAndOrder) {
   ASSERT_EQ(order.size(), 101u);
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
   EXPECT_EQ(order.back(), 400);
+}
+
+TEST(SimulationQueue, PurgeWorkStaysLinearUnderCancelStorms) {
+  // Telemetry/explorer-style workload: waves of events scheduled and then
+  // cancelled wholesale, with a small set of long-lived survivors.  Total
+  // compaction work must stay linear in the number of cancellations — about
+  // one purge per wave, never one per cancel (the quadratic failure mode).
+  es::Simulation sim;
+  std::vector<es::EventHandle> survivors;
+  for (int i = 0; i < 100; ++i) {
+    survivors.push_back(sim.schedule_at((i + 1) * ec::kHour, [] {}));
+  }
+  constexpr int kWaves = 50;
+  constexpr int kPerWave = 1000;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<es::EventHandle> doomed;
+    doomed.reserve(kPerWave);
+    for (int i = 0; i < kPerWave; ++i) {
+      doomed.push_back(
+          sim.schedule_at((wave * kPerWave + i + 1) * kMillisecond, [] {}));
+    }
+    for (auto& h : doomed) h.cancel();
+  }
+  EXPECT_LE(sim.purges(), static_cast<std::uint64_t>(kWaves + 5))
+      << "purges must amortize to O(1) per wave of cancellations";
+  EXPECT_GE(sim.purges(), 1u);
+  EXPECT_LT(sim.pending_events(), 2u * kPerWave + 200)
+      << "dead events must not accumulate across waves";
+  // The survivors all still fire, in order.
+  std::uint64_t fired_before = sim.events_fired();
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), fired_before + 100);
+}
+
+TEST(SimulationQueue, PurgePolicyIsTunable) {
+  es::Simulation sim;
+  // Defer compaction entirely: a huge min_queue means the storm below never
+  // crosses the threshold and every dead event is retained.
+  es::PurgePolicy lazy;
+  lazy.min_queue = 1'000'000;
+  sim.set_purge_policy(lazy);
+  EXPECT_EQ(sim.purge_policy().min_queue, 1'000'000u);
+
+  std::vector<es::EventHandle> doomed;
+  for (int i = 0; i < 10'000; ++i) {
+    doomed.push_back(sim.schedule_at((i + 1) * kMillisecond, [] {}));
+  }
+  for (auto& h : doomed) h.cancel();
+  sim.schedule_at(20 * kSecond, [] {});
+  EXPECT_EQ(sim.purges(), 0u);
+  EXPECT_GT(sim.pending_events(), 10'000u);
+
+  // Switch to an eager policy: the very next push compacts.
+  sim.set_purge_policy(es::PurgePolicy{100, 1, 16});
+  sim.schedule_at(21 * kSecond, [] {});
+  EXPECT_EQ(sim.purges(), 1u);
+  EXPECT_LT(sim.pending_events(), 16u);
 }

@@ -6,6 +6,15 @@
 # bench values may move up to the tolerance (default 20%).  Any drift —
 # or a bench failing outright — fails the gate.
 #
+# The manifests deliberately carry only machine-independent numbers: heap
+# allocations per solve/touch, solver-invariant counters (flows walked per
+# touch, max component solve size, live component count, calendar-drained
+# completions), and sim-time metrics (sim_queue_depth/purges, net_components,
+# net_component_solve_size) — never wall-clock timings.  A regression in the
+# partitioned solver's isolation (a mutation touching more than its island)
+# or in steady-state allocation discipline therefore fails this gate
+# deterministically on any machine.
+#
 # Invoked by ctest as:
 #   cmake -DBENCH_FLUID=<bench_fluid_scale> -DBENCH_CHAOS=<bench_chaos>
 #         -DESG_REPORT=<esg-report> -DBASELINE_DIR=<repo>/bench/baselines
