@@ -24,7 +24,9 @@
 
 #include "bench_util.hpp"
 #include "campaign/driver.hpp"
+#include "obs/flame.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profile.hpp"
 #include "obs/slo.hpp"
 #include "sim/chaos.hpp"
 
@@ -45,6 +47,12 @@ struct Scale {
   Bytes min_size = common::kMiB;
   Bytes max_size = 4 * common::kMiB;
   int per_site_concurrency = 8;
+
+  // Per-task tracing (campaign.file root spans feeding the time-where
+  // profiler) is on for --small runs; at 100k files the span buffer would
+  // need gigabytes, so the full-scale run keeps the flight recorder and
+  // metrics only.
+  bool trace_tasks() const { return files <= 20'000; }
 };
 
 struct Outcome {
@@ -56,6 +64,7 @@ struct Outcome {
   bool completed = false;
   obs::MetricsSnapshot snapshot;
   obs::RunManifest manifest;
+  obs::TimeWhereProfile profile;
   std::string manifest_json;
   std::string series_json;  // campaign_* telemetry for BENCH_campaign.json
 };
@@ -196,6 +205,7 @@ struct World {
     opts.retry.jitter = 0.25;
     opts.breaker.failure_threshold = 3;
     opts.breaker.cooldown = 15 * kSecond;
+    opts.trace_tasks = scale.trace_tasks();
     return opts;
   }
 };
@@ -205,6 +215,12 @@ Outcome run_world(const Scale& scale, std::uint64_t seed,
                   SimTime kill_at, std::string* killed_manifest_json) {
   const campaign::CampaignCatalog catalog = make_catalog(scale);
   World world(seed, catalog);
+  if (scale.trace_tasks()) {
+    // Room for every task's root span plus its transfer/net children and
+    // retry attempts — dropping spans would hole the profile.
+    world.sim.tracer().set_capacity(
+        static_cast<std::size_t>(scale.files) * 256);
+  }
   campaign::CampaignDriver driver(
       world.sim, catalog, world.endpoints, world.options(scale),
       resume_from != nullptr ? *resume_from : campaign::CampaignManifest{});
@@ -261,6 +277,22 @@ Outcome run_world(const Scale& scale, std::uint64_t seed,
                         world.sim.alerts(),
                         {"campaign_file_seconds:p", "campaign_queue_depth"},
                         12);
+  if (scale.trace_tasks()) {
+    // Time-where decomposition of every campaign.file span.  The manifest
+    // copy is condensed to the tail exemplars' rows (thousands of per-file
+    // rows would dwarf the baseline); the shares become gated bench values.
+    obs::ProfileOptions popts;
+    popts.root_span = "campaign.file";
+    out.profile = obs::build_profile(world.sim.tracer(),
+                                     world.sim.flight_recorder(), popts);
+    obs::attach_profile(out.manifest, out.profile);
+    for (std::size_t i = 0; i < obs::kProfileCategories; ++i) {
+      const auto c = static_cast<obs::ProfileCategory>(i);
+      out.manifest.set_bench(
+          std::string("profile_share_") + obs::profile_category_name(c),
+          out.profile.share(c));
+    }
+  }
   out.series_json = bench::telemetry_series_json(
       world.sim.telemetry(),
       {"campaign_file_seconds:p", "campaign_queue_depth",
@@ -339,6 +371,30 @@ int main(int argc, char** argv) {
   const auto self_diff = obs::diff_manifests(a.manifest, b.manifest,
                                              tolerance);
 
+  // Time-where contract (only when task tracing is on): every campaign.file
+  // span tiles exactly into the category self-times, and the flame export
+  // conserves the total.
+  bool profile_ok = true;
+  if (scale.trace_tasks()) {
+    profile_ok = a.profile.files.size() ==
+                 static_cast<std::size_t>(scale.files);
+    for (const auto& fp : a.profile.files) {
+      if (fp.category_sum() != fp.total()) {
+        profile_ok = false;
+        std::printf(
+            "  TILING BROKEN %s: categories sum %lld ns, span %lld ns\n",
+            fp.file.c_str(), static_cast<long long>(fp.category_sum()),
+            static_cast<long long>(fp.total()));
+        break;
+      }
+    }
+    long long flame_ns = 0;
+    for (const auto& sw : a.profile.stacks) flame_ns += sw.self;
+    if (flame_ns != static_cast<long long>(a.profile.total)) {
+      profile_ok = false;
+    }
+  }
+
   char hash_buf[32];
   std::snprintf(hash_buf, sizeof hash_buf, "%016" PRIx64,
                 a.report.fingerprint);
@@ -369,15 +425,31 @@ int main(int argc, char** argv) {
        std::to_string(self_diff.drifts.size()) + " drifts over " +
            std::to_string(self_diff.series_compared) + " series"},
   };
+  if (scale.trace_tasks()) {
+    rows.push_back({"profile tiles every campaign.file span", "exactly",
+                    profile_ok ? "yes" : "NO"});
+  }
   bench::print_table(rows);
-  bench::write_bench_json("campaign", rows, a.snapshot, a.series_json);
+  if (scale.trace_tasks()) {
+    std::fputs("\n", stdout);
+    std::fputs(a.profile.render().c_str(), stdout);
+  } else {
+    std::printf("\n(time-where profile skipped at full scale — "
+                "run with --small for per-task tracing)\n");
+  }
+  bench::write_bench_json(
+      "campaign", rows, a.snapshot, a.series_json,
+      a.manifest.has_profile ? obs::profile_to_json(a.manifest.profile)
+                             : "");
 
-  if (!all_moved || !deterministic || !resume_ok || !self_diff.clean()) {
-    std::printf("\nCAMPAIGN RUN FAILED: %s%s%s%s\n",
+  if (!all_moved || !deterministic || !resume_ok || !self_diff.clean() ||
+      !profile_ok) {
+    std::printf("\nCAMPAIGN RUN FAILED: %s%s%s%s%s\n",
                 all_moved ? "" : "not every file moved; ",
                 deterministic ? "" : "same-seed runs diverged; ",
                 resume_ok ? "" : "kill+resume did not converge; ",
-                self_diff.clean() ? "" : "run-diff flagged drift");
+                self_diff.clean() ? "" : "run-diff flagged drift; ",
+                profile_ok ? "" : "time-where profile contract broken");
     return 1;
   }
   std::printf(

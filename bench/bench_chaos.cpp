@@ -16,7 +16,9 @@
 
 #include "bench_util.hpp"
 #include "directory/service.hpp"
+#include "obs/flame.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profile.hpp"
 #include "obs/slo.hpp"
 #include "hrm/hrm.hpp"
 #include "mds/mds.hpp"
@@ -61,6 +63,7 @@ struct ChaosOutcome {
   double stage_retries = 0.0;
   obs::MetricsSnapshot snapshot;
   obs::RunManifest manifest;
+  obs::TimeWhereProfile profile;
   std::string manifest_json;
 };
 
@@ -353,6 +356,18 @@ ChaosOutcome run_world(std::uint64_t seed, bool verbose) {
                         {"gridftp_channel_bytes_total",
                          "gridftp_transfers_failed_total",
                          "rm_file_duration_seconds:p"});
+
+  // Time-where profile: decompose every rm.file span into exclusive
+  // categories.  Goes into the manifest (drift-gated) and the bench JSON;
+  // the per-category shares become gated bench values.
+  out.profile = obs::build_profile(sim.tracer(), sim.flight_recorder());
+  obs::attach_profile(out.manifest, out.profile);
+  for (std::size_t i = 0; i < obs::kProfileCategories; ++i) {
+    const auto c = static_cast<obs::ProfileCategory>(i);
+    out.manifest.set_bench(
+        std::string("profile_share_") + obs::profile_category_name(c),
+        out.profile.share(c));
+  }
   for (const auto& a : out.manifest.alerts) {
     if (a.fired_at > out.finished_at) continue;
     (a.kind == obs::AlertKind::burn_rate ? out.burn_alerts
@@ -421,6 +436,39 @@ int main() {
       a.correlated_alerts == a.burn_alerts + a.anomaly_alerts &&
       a.burn_alerts == b.burn_alerts && a.anomaly_alerts == b.anomaly_alerts;
 
+  // Time-where contract: the per-category self-times of every profiled
+  // file must tile its rm.file span exactly (integer nanoseconds — no
+  // epsilon), the profile must cover every requested file, and at least
+  // one tape-resident file must be dominated by the staging category.
+  bool tiling_ok = a.profile.files.size() ==
+                   static_cast<std::size_t>(total_files);
+  for (const auto& fp : a.profile.files) {
+    if (fp.category_sum() != fp.total()) {
+      tiling_ok = false;
+      std::printf("  TILING BROKEN %s: categories sum %lld ns, span %lld ns\n",
+                  fp.file.c_str(),
+                  static_cast<long long>(fp.category_sum()),
+                  static_cast<long long>(fp.total()));
+    }
+  }
+  bool tape_dominated_by_stage = false;
+  std::string tape_example;
+  for (const auto& fp : a.profile.files) {
+    if (fp.staged && fp.dominant() == obs::ProfileCategory::stage) {
+      tape_dominated_by_stage = true;
+      if (tape_example.empty()) tape_example = fp.file;
+    }
+  }
+  // Flame export must conserve time: the collapsed stacks sum to exactly
+  // the profile total (tiling survives serialization).
+  long long flame_ns = 0;
+  for (const auto& sw : a.profile.stacks) flame_ns += sw.self;
+  const bool flame_ok =
+      flame_ns == static_cast<long long>(a.profile.total) &&
+      obs::to_collapsed_stacks(a.profile) ==
+          obs::to_collapsed_stacks(b.profile);
+  const bool profile_ok = tiling_ok && tape_dominated_by_stage && flame_ok;
+
   char hash_buf[32];
   std::snprintf(hash_buf, sizeof hash_buf, "%016" PRIx64, a.timeline_hash);
   std::vector<bench::Row> rows = {
@@ -463,17 +511,34 @@ int main() {
            std::to_string(a.burn_alerts + a.anomaly_alerts)},
       {"telemetry samples", "(one per sim-second)",
        std::to_string(a.manifest.series.size()) + " series in manifest"},
+      {"profile tiles every rm.file span", "exactly",
+       tiling_ok ? "yes" : "NO"},
+      {"tape files dominated by staging", ">= 1",
+       tape_dominated_by_stage ? "yes (" + tape_example + ")" : "NO"},
+      {"flame stacks conserve time", "sum == total",
+       flame_ok ? "yes" : "NO"},
   };
   bench::print_table(rows);
   std::printf("\nalert root-cause correlation:\n%s", a.alert_story.c_str());
-  bench::write_bench_json("chaos", rows, a.snapshot);
 
-  if (!all_complete || !deterministic || !watchdog_ok || !alerts_ok) {
-    std::printf("\nCHAOS RUN FAILED: %s%s%s%s\n",
+  std::fputs("\n", stdout);
+  std::fputs(a.profile.render().c_str(), stdout);
+  if (const obs::FileProfile* fp = a.profile.find(tape_example)) {
+    std::fputs("\n", stdout);
+    std::fputs(obs::render_critical_path(*fp).c_str(), stdout);
+  }
+
+  bench::write_bench_json("chaos", rows, a.snapshot, "",
+                          obs::profile_to_json(a.profile));
+
+  if (!all_complete || !deterministic || !watchdog_ok || !alerts_ok ||
+      !profile_ok) {
+    std::printf("\nCHAOS RUN FAILED: %s%s%s%s%s\n",
                 all_complete ? "" : "not every file completed; ",
                 deterministic ? "" : "same-seed runs diverged; ",
                 watchdog_ok ? "" : "run-diff watchdog misbehaved; ",
-                alerts_ok ? "" : "during-run alerting contract broken");
+                alerts_ok ? "" : "during-run alerting contract broken; ",
+                profile_ok ? "" : "time-where profile contract broken");
     if (!self_diff.clean()) std::fputs(self_diff.render().c_str(), stdout);
     return 1;
   }

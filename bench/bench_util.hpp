@@ -162,12 +162,14 @@ inline std::string telemetry_series_json(
 
 /// Write BENCH_<name>.json: the paper-vs-measured rows plus the full obs
 /// metrics snapshot — and, when `series_json` (telemetry_series_json) is
-/// non-empty, the condensed telemetry history — so downstream tooling can
-/// diff runs without scraping the printed tables.
+/// non-empty, the condensed telemetry history, and when `profile_json`
+/// (obs::profile_to_json) is non-empty, the time-where profile — so
+/// downstream tooling can diff runs without scraping the printed tables.
 inline void write_bench_json(const std::string& name,
                              const std::vector<Row>& rows,
                              const obs::MetricsSnapshot& snapshot,
-                             const std::string& series_json = "") {
+                             const std::string& series_json = "",
+                             const std::string& profile_json = "") {
   auto esc = [](const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -190,6 +192,7 @@ inline void write_bench_json(const std::string& name,
   }
   out += "\n  ],\n  \"metrics\": " + obs::to_json(snapshot);
   if (!series_json.empty()) out += ",\n  \"series\": " + series_json;
+  if (!profile_json.empty()) out += ",\n  \"profile\": " + profile_json;
   out += "\n}\n";
   const std::string path = "BENCH_" + name + ".json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {

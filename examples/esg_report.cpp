@@ -7,13 +7,21 @@
 // telemetry, the alert timeline and condensed per-series history.  This
 // tool retells that story without re-running anything:
 //
-//   esg-report summary    MANIFEST.json
-//   esg-report postmortem MANIFEST.json [file...]
-//   esg-report slo        MANIFEST.json 'rule' ['rule'...]
-//   esg-report timeline   MANIFEST.json [series-substr...]
-//   esg-report alerts     MANIFEST.json
-//   esg-report diff       BASELINE.json CURRENT.json [--tolerance F]
-//                         [--ignore SUBSTR]... [--exact]
+//   esg-report summary       MANIFEST.json
+//   esg-report postmortem    MANIFEST.json [file...]
+//   esg-report slo           MANIFEST.json 'rule' ['rule'...]
+//   esg-report timeline      MANIFEST.json [series-substr...]
+//   esg-report alerts        MANIFEST.json
+//   esg-report critical-path MANIFEST.json [file...]
+//   esg-report flame         MANIFEST.json [file] [--out FILE]
+//   esg-report diff          BASELINE.json CURRENT.json [--tolerance F]
+//                            [--ignore SUBSTR]... [--exact]
+//
+// `critical-path` renders the time-where table plus each file's critical
+// path from the manifest's profile section (no file arguments = the tail
+// exemplars' files).  `flame` emits collapsed stacks (flamegraph.pl /
+// speedscope format) for the whole run — or, with a file argument, just
+// that request's critical path — on stdout or into --out.
 //
 // `postmortem` with no file argument reports every failed or degraded
 // transfer.  `slo` rules look like "rm_files_failed_total == 0" or
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "obs/alert.hpp"
+#include "obs/flame.hpp"
 #include "obs/manifest.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/slo.hpp"
@@ -45,13 +54,15 @@ namespace {
 
 const char kUsage[] =
     "usage:\n"
-    "  esg-report summary    MANIFEST.json\n"
-    "  esg-report postmortem MANIFEST.json [file...]\n"
-    "  esg-report slo        MANIFEST.json RULE [RULE...]\n"
-    "  esg-report timeline   MANIFEST.json [series-substr...]\n"
-    "  esg-report alerts    MANIFEST.json\n"
-    "  esg-report diff       BASELINE.json CURRENT.json [--tolerance F]\n"
-    "                        [--ignore SUBSTR]... [--exact]\n";
+    "  esg-report summary       MANIFEST.json\n"
+    "  esg-report postmortem    MANIFEST.json [file...]\n"
+    "  esg-report slo           MANIFEST.json RULE [RULE...]\n"
+    "  esg-report timeline      MANIFEST.json [series-substr...]\n"
+    "  esg-report alerts        MANIFEST.json\n"
+    "  esg-report critical-path MANIFEST.json [file...]\n"
+    "  esg-report flame         MANIFEST.json [file] [--out FILE]\n"
+    "  esg-report diff          BASELINE.json CURRENT.json [--tolerance F]\n"
+    "                           [--ignore SUBSTR]... [--exact]\n";
 
 int usage(const std::string& error) {
   if (!error.empty()) std::fprintf(stderr, "esg-report: %s\n", error.c_str());
@@ -90,6 +101,108 @@ int cmd_summary(const std::string& path) {
   std::printf("transfers  %zu tracked, %zu failed/degraded\n",
               esg::obs::postmortem_files(m.events).size(), degraded.size());
   for (const auto& f : degraded) std::printf("  degraded: %s\n", f.c_str());
+  if (m.has_profile) {
+    std::printf("profile    %s: %llu files, total %.3fs\n",
+                m.profile.root_span.c_str(),
+                static_cast<unsigned long long>(m.profile.files_profiled),
+                esg::common::to_seconds(m.profile.total));
+  }
+  // Dropped spans silently invalidate profiles and traces — shout.
+  double dropped = 0.0;
+  for (const auto& e : m.metrics.entries) {
+    if (e.name == "obs_trace_dropped") dropped = std::max(dropped, e.value);
+  }
+  if (m.has_profile) {
+    dropped = std::max(dropped, static_cast<double>(m.profile.dropped_spans));
+  }
+  if (dropped > 0) {
+    std::printf(
+        "\n*** WARNING: %.0f trace spans were DROPPED (tracer buffer full) "
+        "***\n*** traces, profiles and flame exports from this run are "
+        "incomplete — raise Tracer::set_capacity ***\n",
+        dropped);
+  }
+  return 0;
+}
+
+int cmd_critical_path(const std::string& path,
+                      std::vector<std::string> files) {
+  const auto m = load_or_die(path);
+  if (!m.has_profile) {
+    std::fprintf(stderr, "esg-report: %s has no profile section\n",
+                 path.c_str());
+    return 2;
+  }
+  std::fputs(m.profile.render().c_str(), stdout);
+  if (files.empty()) {
+    // Default to the tail exemplars' files, slowest categories first.
+    for (const auto& ex : m.profile.exemplars) {
+      if (std::find(files.begin(), files.end(), ex.file) == files.end()) {
+        files.push_back(ex.file);
+      }
+    }
+  }
+  int missing = 0;
+  for (const auto& f : files) {
+    const esg::obs::FileProfile* fp = m.profile.find(f);
+    if (fp == nullptr) {
+      std::printf("\n%s: no per-file profile row in the manifest "
+                  "(condensed to exemplars?)\n",
+                  f.c_str());
+      ++missing;
+      continue;
+    }
+    std::fputs("\n", stdout);
+    std::fputs(esg::obs::render_critical_path(*fp).c_str(), stdout);
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+int cmd_flame(const std::vector<std::string>& args) {
+  std::string path, file, out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage("--out needs a value");
+      out_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage("unknown flame option '" + args[i] + "'");
+    } else if (path.empty()) {
+      path = args[i];
+    } else if (file.empty()) {
+      file = args[i];
+    } else {
+      return usage("flame takes one manifest and at most one file");
+    }
+  }
+  if (path.empty()) return usage("flame needs a manifest");
+  const auto m = load_or_die(path);
+  if (!m.has_profile) {
+    std::fprintf(stderr, "esg-report: %s has no profile section\n",
+                 path.c_str());
+    return 2;
+  }
+  std::string flame;
+  if (file.empty()) {
+    flame = esg::obs::to_collapsed_stacks(m.profile);
+  } else {
+    const esg::obs::FileProfile* fp = m.profile.find(file);
+    if (fp == nullptr) {
+      std::fprintf(stderr,
+                   "esg-report: no per-file profile row for '%s' in %s\n",
+                   file.c_str(), path.c_str());
+      return 1;
+    }
+    flame = esg::obs::to_collapsed_stacks(*fp, m.profile.root_span);
+  }
+  if (out_path.empty()) {
+    std::fputs(flame.c_str(), stdout);
+    return 0;
+  }
+  if (!esg::obs::write_file(out_path, flame)) {
+    std::fprintf(stderr, "esg-report: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote collapsed stacks to %s\n", out_path.c_str());
   return 0;
 }
 
@@ -276,6 +389,13 @@ int main(int argc, char** argv) {
     if (rest.size() != 1) return usage("alerts takes exactly one manifest");
     return cmd_alerts(rest[0]);
   }
+  if (cmd == "critical-path") {
+    if (rest.empty()) return usage("critical-path needs a manifest");
+    const std::string path = rest.front();
+    rest.erase(rest.begin());
+    return cmd_critical_path(path, std::move(rest));
+  }
+  if (cmd == "flame") return cmd_flame(rest);
   if (cmd == "diff") return cmd_diff(rest);
   return usage("unknown subcommand '" + cmd + "'");
 }

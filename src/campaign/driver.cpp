@@ -69,6 +69,27 @@ void CampaignDriver::run(std::function<void(const IntegrityReport&)> done) {
   sim_.metrics()
       .counter("campaign_files_resumed_total")
       .add(plan_.total_resumed());
+  if (options_.trace_tasks) {
+    // Every queued task opens its root span now, before any transfer is
+    // admitted: the stretch between here and the first gridftp span is the
+    // task's queue wait, and the profiler bills it as such.
+    for (auto& sq : sites_) {
+      for (std::size_t i = sq->next; i < sq->queue.size(); ++i) {
+        const std::uint32_t idx = sq->queue[i];
+        const CampaignFile& f = catalog_.files[idx];
+        TaskTrace trace;
+        trace.track = sim_.tracer().new_track("campaign " +
+                                              sq->endpoint.site + "/" +
+                                              f.name);
+        trace.span =
+            sim_.tracer().begin("campaign.file", "campaign", trace.track);
+        sim_.tracer().set_attr(trace.span, "file", f.name);
+        sim_.tracer().set_attr(trace.span, "dataset", f.dataset);
+        sim_.tracer().set_attr(trace.span, "site", sq->endpoint.site);
+        traces_[idx] = trace;
+      }
+    }
+  }
   if (outstanding_ == 0) {
     // Nothing to do (fully resumed or empty): complete asynchronously so
     // callers never see the callback before run() returns.
@@ -129,8 +150,12 @@ void CampaignDriver::start_task(SiteQueue& sq, std::uint32_t file_index) {
     ok ? health_.record_success(host) : health_.record_failure(host);
   };
   const std::string local_name = sq.endpoint.local_prefix + "/" + f.name;
+  gridftp::TransferOptions transfer = options_.transfer;
+  if (auto it = traces_.find(file_index); it != traces_.end()) {
+    transfer.obs_track = it->second.track;
+  }
   auto get = gridftp::ReliableGet::start(
-      *sq.endpoint.client, f.sources, local_name, options_.transfer, rel,
+      *sq.endpoint.client, f.sources, local_name, transfer, rel,
       nullptr, [this, &sq, file_index](gridftp::ReliableResult r) {
         task_finished(sq, file_index, std::move(r));
       });
@@ -140,6 +165,16 @@ void CampaignDriver::start_task(SiteQueue& sq, std::uint32_t file_index) {
 void CampaignDriver::task_finished(SiteQueue& sq, std::uint32_t file_index,
                                    gridftp::ReliableResult result) {
   active_.erase(file_index);
+  if (auto it = traces_.find(file_index); it != traces_.end()) {
+    sim_.tracer().set_attr(it->second.span, "status",
+                           result.status.ok()
+                               ? "ok"
+                               : result.status.error().to_string());
+    sim_.tracer().set_attr(it->second.span, "bytes",
+                           std::to_string(result.total_bytes));
+    sim_.tracer().end(it->second.span);
+    traces_.erase(it);
+  }
   if (aborted_ || finished_) return;
   --sq.active;
   --outstanding_;

@@ -57,6 +57,12 @@ struct CampaignOptions {
   /// completions ("" / 0 = no checkpointing).
   std::string checkpoint_path;
   std::size_t checkpoint_every = 0;
+  /// Open a `campaign.file` trace span per task (queued at run(), ended at
+  /// completion) and route each transfer's gridftp/net spans onto a
+  /// per-task track, so build_profile() can decompose campaigns exactly
+  /// like rm requests.  Off by default: a full 100k-file campaign should
+  /// opt in (and raise Tracer::set_capacity) rather than silently drop.
+  bool trace_tasks = false;
 };
 
 class CampaignDriver {
@@ -112,6 +118,11 @@ class CampaignDriver {
   rm::ReplicaHealthRegistry health_;
   std::vector<std::unique_ptr<SiteQueue>> sites_;
   std::map<std::uint32_t, std::shared_ptr<gridftp::ReliableGet>> active_;
+  struct TaskTrace {
+    obs::TrackId track = 0;
+    obs::SpanId span = 0;  // the campaign.file root span
+  };
+  std::map<std::uint32_t, TaskTrace> traces_;  // only when trace_tasks
   std::function<void(const IntegrityReport&)> done_;
   std::size_t outstanding_ = 0;  // tasks not yet completed/failed
   std::size_t completions_since_checkpoint_ = 0;

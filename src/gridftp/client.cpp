@@ -42,7 +42,9 @@ struct GridFtpClient::Op : TransferHandle,
   bool warm = false;
   bool finished = false;
   bool aborted_ = false;
+  bool verify_started = false;   // checksum pass scheduled (one-shot)
   obs::Span span;                              // whole op (RETR -> done)
+  obs::SpanId verify_span = 0;                 // gridftp.checksum child
   obs::Counter* channel_bytes = nullptr;       // per-server byte counter
 
   // ---- TransferHandle ----
@@ -51,6 +53,7 @@ struct GridFtpClient::Op : TransferHandle,
     aborted_ = true;
     if (tcp) attempt_bytes = tcp->cancel();
     finished = true;
+    sim().tracer().end(verify_span);  // no-op unless mid-verification
     span.set_attr("status", "aborted");
     span.end();
     // No completion will ever be delivered; drop the callbacks so their
@@ -71,6 +74,7 @@ struct GridFtpClient::Op : TransferHandle,
     if (finished) return;
     finished = true;
     if (tcp) attempt_bytes = std::max(attempt_bytes, tcp->cancel());
+    sim().tracer().end(verify_span);
     result.status = Status(std::move(error));
     result.bytes_transferred = attempt_bytes;
     result.finished = sim().now();
@@ -102,6 +106,25 @@ struct GridFtpClient::Op : TransferHandle,
     // the server announced at RETR time.  Covers the whole data path —
     // injection anywhere between RETR and landing fails the transfer.
     if (kind == Kind::get && options.verify_checksum && have_checksum) {
+      // The verification pass walks the landed payload, which is real work:
+      // model it as size / checksum_rate of sim time under its own child
+      // span, then re-enter to do the compare.  An abort or failure during
+      // the window wins (finished flips and the re-entry returns above).
+      if (!verify_started && options.checksum_rate > 0) {
+        verify_started = true;
+        const common::SimDuration cost = static_cast<common::SimDuration>(
+            static_cast<double>(std::max<Bytes>(effective_size, 0)) /
+            options.checksum_rate * static_cast<double>(common::kSecond));
+        if (cost > 0) {
+          verify_span = sim().tracer().begin("gridftp.checksum", "gridftp",
+                                             options.obs_track, span.id());
+          auto self = shared_from_this();
+          sim().schedule_after(cost, [self] { self->succeed(); });
+          return;
+        }
+      }
+      sim().tracer().end(verify_span);
+      verify_span = 0;
       auto landed = client->storage_->get(local_name);
       const std::uint64_t actual =
           landed ? storage::file_checksum(*landed) : ~expected_checksum;

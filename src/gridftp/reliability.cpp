@@ -145,7 +145,8 @@ void ReliableGet::schedule_retry() {
   client_.simulation().flight_recorder().record(
       "gridftp", "retry.scheduled", local_name_,
       {{"after_attempt", std::to_string(result_.attempts)},
-       {"backoff_s", std::to_string(common::to_seconds(delay))}},
+       {"backoff_s", std::to_string(common::to_seconds(delay))},
+       {"backoff_ns", std::to_string(delay)}},
       options_.obs_track);
   auto self = shared_from_this();
   client_.simulation().schedule_after(delay, [self] { self->attempt(); });

@@ -40,6 +40,13 @@ struct TransferOptions {
   /// checksum (GET only).  A mismatch fails the transfer with io_error so
   /// the reliability layer can re-fetch from another replica.
   bool verify_checksum = true;
+  /// Bytes/second the client hashes during verification — the pass walks
+  /// the whole landed payload, so it costs size / checksum_rate of sim
+  /// time under a `gridftp.checksum` span (the profiler's checksum
+  /// category).  1 GB/s ≈ a single-core software hash over a fast local
+  /// disk.  <= 0 makes verification instantaneous (pre-profiler
+  /// behaviour).
+  Rate checksum_rate = 1e9;
   /// Trace track the operation's spans land on (see obs/trace.hpp); the
   /// request manager sets this to the per-file worker track so GridFTP and
   /// network spans nest under the worker's in the exported Chrome trace.

@@ -177,10 +177,29 @@ HrmClient::HrmClient(rpc::Orb& orb, const net::Host& from,
 void HrmClient::stage(const std::string& name,
                       std::function<void(Result<Bytes>)> done,
                       common::SimDuration timeout) {
+  stage(name, obs::TrackId{0}, std::move(done), timeout);
+}
+
+void HrmClient::stage(const std::string& name, obs::TrackId track,
+                      std::function<void(Result<Bytes>)> done,
+                      common::SimDuration timeout) {
+  auto& sim = orb_.network().simulation();
+  // Raw span ids (copyable) rather than the RAII handle: the callback must
+  // fit in std::function, which requires a copyable closure.
+  obs::SpanId span = 0;
+  if (track != 0) {
+    span = sim.tracer().begin("hrm.stage.rpc", "hrm", track);
+    sim.tracer().set_attr(span, "path", name);
+  }
   ByteWriter w;
   w.str(name);
   orb_.call(from_, hrm_, "hrm", "STAGE", w.take(),
-            [done = std::move(done)](Result<Payload> r) {
+            [done = std::move(done), span, &sim](Result<Payload> r) {
+              if (span != 0) {
+                sim.tracer().set_attr(span, "status",
+                                      r ? "ok" : r.error().to_string());
+                sim.tracer().end(span);
+              }
               if (!r) return done(r.error());
               ByteReader reader(*r);
               auto size = reader.i64();

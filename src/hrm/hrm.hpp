@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/orb.hpp"
 #include "storage/storage.hpp"
 #include "storage/tape.hpp"
@@ -95,6 +96,13 @@ class HrmClient {
   /// Ask the HRM to stage a file; the reply arrives when it is on disk and
   /// pinned.  `timeout` must cover queueing + mount + read.
   void stage(const std::string& name,
+             std::function<void(common::Result<common::Bytes>)> done,
+             common::SimDuration timeout = 30 * common::kMinute);
+
+  /// As above, but records an `hrm.stage.rpc` span on the caller's trace
+  /// track covering the whole RPC (tape mount + seek + read on a miss) —
+  /// the profiler's stage category is measured from these spans.
+  void stage(const std::string& name, obs::TrackId track,
              std::function<void(common::Result<common::Bytes>)> done,
              common::SimDuration timeout = 30 * common::kMinute);
 

@@ -23,6 +23,23 @@ std::string fmt_micros(common::SimTime t) {
   return buf;
 }
 
+// Label-value escaping per the Prometheus text exposition format:
+// backslash, double-quote, and line-feed are the three characters that
+// must be escaped inside a quoted label value.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string labels_block(const Labels& labels) {
   if (labels.empty()) return {};
   std::string out = "{";
@@ -30,7 +47,7 @@ std::string labels_block(const Labels& labels) {
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape(v) + "\"";
   }
   out += "}";
   return out;
@@ -83,7 +100,6 @@ std::string json_escape(std::string_view s) {
 }
 
 std::string to_chrome_trace(const Tracer& tracer) {
-  const common::SimTime now = tracer.now();
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto emit = [&out, &first](const std::string& event) {
@@ -98,17 +114,17 @@ std::string to_chrome_trace(const Tracer& tracer) {
          json_escape(name) + "\"}}");
   }
 
-  for (const auto& rec : tracer.spans()) {
-    const common::SimTime end = rec.open() ? now : rec.end;
+  for (const auto& rec : tracer.closed_spans()) {
     std::string ev = "{\"name\":\"" + json_escape(rec.name) + "\"";
     if (!rec.category.empty()) {
       ev += ",\"cat\":\"" + json_escape(rec.category) + "\"";
     }
     ev += ",\"ph\":\"X\",\"ts\":" + fmt_micros(rec.start) +
-          ",\"dur\":" + fmt_micros(end - rec.start) +
+          ",\"dur\":" + fmt_micros(rec.end - rec.start) +
           ",\"pid\":1,\"tid\":" + std::to_string(rec.track);
     ev += ",\"args\":{\"span_id\":" + std::to_string(rec.id) +
           ",\"parent_id\":" + std::to_string(rec.parent);
+    if (rec.clamped) ev += ",\"clamped\":\"true\"";
     for (const auto& [k, v] : rec.attrs) {
       ev += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
     }

@@ -1,0 +1,54 @@
+#include "obs/flame.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace esg::obs {
+
+std::string to_collapsed_stacks(const std::vector<StackWeight>& stacks) {
+  std::vector<const StackWeight*> sorted;
+  sorted.reserve(stacks.size());
+  for (const auto& sw : stacks) {
+    if (sw.self > 0) sorted.push_back(&sw);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StackWeight* a, const StackWeight* b) {
+              return a->stack < b->stack;
+            });
+  std::string out;
+  for (const StackWeight* sw : sorted) {
+    out += sw->stack;
+    out += ' ';
+    out += std::to_string(sw->self);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_collapsed_stacks(const TimeWhereProfile& profile) {
+  return to_collapsed_stacks(profile.stacks);
+}
+
+std::string to_collapsed_stacks(const FileProfile& fp,
+                                const std::string& root_span) {
+  // The critical path loses intermediate frames (it keeps only the deepest
+  // span per step), so rebuild two-level stacks: root;frame.  Aggregate
+  // repeated frames (e.g. several backoff gaps) into one line.
+  std::map<std::string, common::SimDuration> weights;
+  for (const auto& step : fp.critical_path) {
+    std::string stack = root_span;
+    if (step.frame != root_span) {
+      stack += ';';
+      stack += step.frame;
+    }
+    weights[stack] += step.duration();
+  }
+  std::vector<StackWeight> stacks;
+  stacks.reserve(weights.size());
+  for (auto& [stack, self] : weights) {
+    stacks.push_back(StackWeight{stack, self});
+  }
+  return to_collapsed_stacks(stacks);
+}
+
+}  // namespace esg::obs

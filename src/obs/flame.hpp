@@ -1,0 +1,38 @@
+// Flamegraph export for time-where profiles.
+//
+// Emits the *collapsed stack* format understood by Brendan Gregg's
+// flamegraph.pl and by speedscope's "Brendan Gregg" importer: one line per
+// unique stack, frames joined by ';', followed by a space and an integer
+// weight.  The profiler's weights are exclusive self-times in integer
+// nanoseconds, so the flamegraph's widths are exact — the sum of all lines
+// equals the profile's total time (the tiling invariant survives export).
+//
+//   rm.file;rm.transfer;gridftp.get;net.tcp 41250000000
+//   rm.file;rm.transfer;(backoff) 6000000000
+//
+// Synthetic parenthesised leaf frames mark the gap categories that have no
+// span of their own: (queued), (backoff), (breaker-wait), (staging),
+// (overhead).  Output is sorted lexicographically by stack so same-seed
+// runs export byte-identical flames.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace esg::obs {
+
+/// Collapsed stacks for a whole profile (all files aggregated).
+std::string to_collapsed_stacks(const TimeWhereProfile& profile);
+
+/// Collapsed stacks from a raw weight list (manifest round-trip path).
+std::string to_collapsed_stacks(const std::vector<StackWeight>& stacks);
+
+/// Collapsed stacks for a single file, derived from its critical path
+/// (each step becomes `root;frame weight`); lets `esg-report flame FILE`
+/// zoom one request.
+std::string to_collapsed_stacks(const FileProfile& fp,
+                                const std::string& root_span);
+
+}  // namespace esg::obs

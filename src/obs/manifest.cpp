@@ -157,6 +157,116 @@ std::string series_to_json(const SeriesSummary& s) {
   return out;
 }
 
+std::string file_profile_to_json(const FileProfile& fp) {
+  std::string out = "{\"file\":\"" + json_escape(fp.file) +
+                    "\",\"track\":" + std::to_string(fp.track) +
+                    ",\"span\":" + std::to_string(fp.span) +
+                    ",\"start_ns\":" + std::to_string(fp.start) +
+                    ",\"end_ns\":" + std::to_string(fp.end) +
+                    ",\"failed\":" + (fp.failed ? "true" : "false") +
+                    ",\"staged\":" + (fp.staged ? "true" : "false") +
+                    ",\"clamped\":" + (fp.clamped ? "true" : "false") +
+                    ",\"dominant\":\"" +
+                    profile_category_name(fp.dominant()) +
+                    "\",\"self_ns\":[";
+  for (int i = 0; i < kProfileCategories; ++i) {
+    if (i) out += ",";
+    out += std::to_string(fp.self[i]);
+  }
+  out += "],\"critical_path\":[";
+  for (std::size_t i = 0; i < fp.critical_path.size(); ++i) {
+    const CriticalStep& s = fp.critical_path[i];
+    if (i) out += ",";
+    out += "{\"frame\":\"" + json_escape(s.frame) + "\",\"category\":\"" +
+           profile_category_name(s.category) +
+           "\",\"start_ns\":" + std::to_string(s.start) +
+           ",\"end_ns\":" + std::to_string(s.end) +
+           ",\"span\":" + std::to_string(s.span) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+FileProfile file_profile_from_json(const json::Value& v) {
+  FileProfile fp;
+  fp.file = v.string_or("file", "");
+  fp.track = static_cast<TrackId>(v.number_or("track", 0));
+  fp.span = static_cast<SpanId>(v.number_or("span", 0));
+  fp.start = static_cast<common::SimTime>(v.number_or("start_ns", 0));
+  fp.end = static_cast<common::SimTime>(v.number_or("end_ns", 0));
+  if (const json::Value* b = v.find("failed")) fp.failed = b->as_bool();
+  if (const json::Value* b = v.find("staged")) fp.staged = b->as_bool();
+  if (const json::Value* b = v.find("clamped")) fp.clamped = b->as_bool();
+  if (const json::Value* self = v.find("self_ns")) {
+    const auto& arr = self->as_array();
+    for (std::size_t i = 0;
+         i < arr.size() && i < static_cast<std::size_t>(kProfileCategories);
+         ++i) {
+      fp.self[i] = static_cast<common::SimDuration>(arr[i].as_number());
+    }
+  }
+  if (const json::Value* steps = v.find("critical_path")) {
+    for (const auto& sv : steps->as_array()) {
+      CriticalStep s;
+      s.frame = sv.string_or("frame", "");
+      s.category = profile_category_from_name(sv.string_or("category", ""));
+      s.start = static_cast<common::SimTime>(sv.number_or("start_ns", 0));
+      s.end = static_cast<common::SimTime>(sv.number_or("end_ns", 0));
+      s.span = static_cast<SpanId>(sv.number_or("span", 0));
+      fp.critical_path.push_back(std::move(s));
+    }
+  }
+  return fp;
+}
+
+TimeWhereProfile profile_from_json(const json::Value& v) {
+  TimeWhereProfile p;
+  p.root_span = v.string_or("root", "");
+  p.at = static_cast<common::SimTime>(v.number_or("at_ns", 0));
+  p.files_profiled =
+      static_cast<std::uint64_t>(v.number_or("files_profiled", 0));
+  p.dropped_spans =
+      static_cast<std::uint64_t>(v.number_or("dropped_spans", 0));
+  p.clamped_spans =
+      static_cast<std::uint64_t>(v.number_or("clamped_spans", 0));
+  p.total = static_cast<common::SimDuration>(v.number_or("total_ns", 0));
+  if (const json::Value* cats = v.find("categories")) {
+    for (const auto& cv : cats->as_array()) {
+      const ProfileCategory c =
+          profile_category_from_name(cv.string_or("name", ""));
+      p.category_self[static_cast<int>(c)] =
+          static_cast<common::SimDuration>(cv.number_or("self_ns", 0));
+    }
+  }
+  if (const json::Value* files = v.find("files")) {
+    for (const auto& fv : files->as_array()) {
+      p.files.push_back(file_profile_from_json(fv));
+    }
+  }
+  if (const json::Value* exs = v.find("exemplars")) {
+    for (const auto& ev : exs->as_array()) {
+      TailExemplar ex;
+      ex.category = profile_category_from_name(ev.string_or("category", ""));
+      ex.file = ev.string_or("file", "");
+      ex.track = static_cast<TrackId>(ev.number_or("track", 0));
+      ex.span = static_cast<SpanId>(ev.number_or("span", 0));
+      ex.self = static_cast<common::SimDuration>(ev.number_or("self_ns", 0));
+      ex.total =
+          static_cast<common::SimDuration>(ev.number_or("total_ns", 0));
+      p.exemplars.push_back(std::move(ex));
+    }
+  }
+  if (const json::Value* stacks = v.find("stacks")) {
+    for (const auto& sv : stacks->as_array()) {
+      StackWeight sw;
+      sw.stack = sv.string_or("stack", "");
+      sw.self = static_cast<common::SimDuration>(sv.number_or("self_ns", 0));
+      p.stacks.push_back(std::move(sw));
+    }
+  }
+  return p;
+}
+
 SeriesSummary series_from_json(const json::Value& v) {
   SeriesSummary s;
   s.name = v.string_or("name", "");
@@ -224,7 +334,11 @@ std::string RunManifest::to_json() const {
     out += i ? ",\n  " : "\n  ";
     out += series_to_json(series[i]);
   }
-  out += "\n],\n\"events\":[";
+  out += "\n],\n";
+  if (has_profile) {
+    out += "\"profile\":" + profile_to_json(profile) + ",\n";
+  }
+  out += "\"events\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     out += i ? ",\n  " : "\n  ";
     out += obs::to_json(events[i]);
@@ -265,6 +379,10 @@ Result<RunManifest> RunManifest::from_json(std::string_view text) {
     for (const auto& sv : series->as_array()) {
       m.series.push_back(series_from_json(sv));
     }
+  }
+  if (const json::Value* profile = v.find("profile"); profile != nullptr) {
+    m.has_profile = true;
+    m.profile = profile_from_json(*profile);
   }
   if (const json::Value* events = v.find("events"); events != nullptr) {
     for (const auto& ev : events->as_array()) {
@@ -329,6 +447,83 @@ void attach_telemetry(RunManifest& manifest, const TimeSeriesStore& store,
     sum.points = std::move(points);
     manifest.series.push_back(std::move(sum));
   });
+}
+
+std::string profile_to_json(const TimeWhereProfile& p) {
+  std::string out = "{\"root\":\"" + json_escape(p.root_span) +
+                    "\",\"at_ns\":" + std::to_string(p.at) +
+                    ",\"files_profiled\":" + std::to_string(p.files_profiled) +
+                    ",\"total_ns\":" + std::to_string(p.total) +
+                    ",\"dropped_spans\":" + std::to_string(p.dropped_spans) +
+                    ",\"clamped_spans\":" + std::to_string(p.clamped_spans) +
+                    ",\"categories\":[";
+  for (int i = 0; i < kProfileCategories; ++i) {
+    const auto c = static_cast<ProfileCategory>(i);
+    if (i) out += ",";
+    out += "\n  {\"name\":\"" + std::string(profile_category_name(c)) +
+           "\",\"self_ns\":" + std::to_string(p.category_self[i]) +
+           ",\"share\":" + fmt_double(p.share(c)) + "}";
+  }
+  out += "\n ],\"exemplars\":[";
+  for (std::size_t i = 0; i < p.exemplars.size(); ++i) {
+    const TailExemplar& ex = p.exemplars[i];
+    if (i) out += ",";
+    out += "\n  {\"category\":\"" +
+           std::string(profile_category_name(ex.category)) +
+           "\",\"file\":\"" + json_escape(ex.file) +
+           "\",\"track\":" + std::to_string(ex.track) +
+           ",\"span\":" + std::to_string(ex.span) +
+           ",\"self_ns\":" + std::to_string(ex.self) +
+           ",\"total_ns\":" + std::to_string(ex.total) + "}";
+  }
+  out += "\n ],\"stacks\":[";
+  for (std::size_t i = 0; i < p.stacks.size(); ++i) {
+    if (i) out += ",";
+    out += "\n  {\"stack\":\"" + json_escape(p.stacks[i].stack) +
+           "\",\"self_ns\":" + std::to_string(p.stacks[i].self) + "}";
+  }
+  out += "\n ],\"files\":[";
+  for (std::size_t i = 0; i < p.files.size(); ++i) {
+    if (i) out += ",";
+    out += "\n  " + file_profile_to_json(p.files[i]);
+  }
+  out += "\n ]}";
+  return out;
+}
+
+void attach_profile(RunManifest& manifest, const TimeWhereProfile& profile,
+                    std::size_t max_files, std::size_t max_steps) {
+  manifest.profile = profile;
+  manifest.has_profile = true;
+  TimeWhereProfile& p = manifest.profile;
+  if (p.files.size() > max_files) {
+    // Keep only exemplar-referenced rows; aggregates stay complete.
+    std::vector<FileProfile> kept;
+    for (const auto& fp : p.files) {
+      bool referenced = false;
+      for (const auto& ex : p.exemplars) {
+        if (ex.span == fp.span) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) kept.push_back(fp);
+    }
+    p.files = std::move(kept);
+  }
+  for (auto& fp : p.files) {
+    if (fp.critical_path.size() <= max_steps) continue;
+    CriticalStep elided;
+    elided.frame =
+        "(+" +
+        std::to_string(fp.critical_path.size() - (max_steps - 1)) +
+        " more steps)";
+    elided.start = fp.critical_path[max_steps - 1].start;
+    elided.end = fp.critical_path.back().end;
+    elided.category = ProfileCategory::overhead;
+    fp.critical_path.resize(max_steps - 1);
+    fp.critical_path.push_back(std::move(elided));
+  }
 }
 
 Result<RunManifest> load_manifest(const std::string& path) {

@@ -20,6 +20,7 @@
 #include "common/result.hpp"
 #include "obs/alert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "obs/timeseries.hpp"
 
@@ -59,6 +60,13 @@ struct RunManifest {
   /// the bench gate work offline — and drift in alert firing is diffable.
   std::vector<AlertRecord> alerts;
   std::vector<SeriesSummary> series;
+  /// Time-where profile (attach_profile): per-category self-times, tail
+  /// exemplars, collapsed stacks, and (for small runs) per-file critical
+  /// paths.  Serializes byte-deterministically and round-trips, powering
+  /// `esg-report critical-path` / `esg-report flame` offline and the
+  /// profile drift check in diff_manifests.
+  bool has_profile = false;
+  TimeWhereProfile profile;
 
   void set_bench(std::string bench_name, double value);
   double bench_or(std::string_view bench_name, double fallback) const;
@@ -84,6 +92,19 @@ void attach_telemetry(RunManifest& manifest, const TimeSeriesStore& store,
                       const AlertEngine& alerts,
                       const std::vector<std::string>& include = {},
                       std::size_t max_points = 16);
+
+/// Attach a time-where profile to the manifest.  When the profile covers
+/// more than `max_files` files, only the files referenced by tail
+/// exemplars keep their per-file rows (aggregates, exemplars, and stacks
+/// are always complete) so fleet-scale manifests stay diff-friendly.
+/// Per-file critical paths are truncated to `max_steps` steps, the
+/// remainder merged into one elided step.
+void attach_profile(RunManifest& manifest, const TimeWhereProfile& profile,
+                    std::size_t max_files = 64, std::size_t max_steps = 64);
+
+/// The manifest `profile` section as standalone deterministic JSON (also
+/// embedded in BENCH_*.json by the benches).
+std::string profile_to_json(const TimeWhereProfile& profile);
 
 /// Convenience: read + parse a manifest file.
 common::Result<RunManifest> load_manifest(const std::string& path);

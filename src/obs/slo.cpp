@@ -361,6 +361,30 @@ DriftReport diff_manifests(const RunManifest& baseline,
           {"bench:" + c.name, 0.0, c.value, 1.0, "missing in baseline"});
     }
   }
+  // Profile drift: per-category self-times under the same tolerance as
+  // metrics, so a structural shift in where time goes (staging doubling,
+  // backoff exploding) fails the gate even when totals stay flat.
+  ++report.series_compared;
+  if (baseline.has_profile != current.has_profile) {
+    report.drifts.push_back({"profile", 0.0, 0.0, 1.0,
+                             baseline.has_profile ? "missing in current"
+                                                  : "missing in baseline"});
+  } else if (baseline.has_profile) {
+    compare_exact("profile:files_profiled",
+                  static_cast<double>(baseline.profile.files_profiled),
+                  static_cast<double>(current.profile.files_profiled),
+                  report);
+    for (int i = 0; i < kProfileCategories; ++i) {
+      const std::string key =
+          std::string("profile:") +
+          profile_category_name(static_cast<ProfileCategory>(i));
+      if (ignored(key, tolerance)) continue;
+      compare_value(
+          key, common::to_seconds(baseline.profile.category_self[i]),
+          common::to_seconds(current.profile.category_self[i]), tolerance,
+          report);
+    }
+  }
   // Alert timeline: exact, positional.  Which rule fired, in what order, at
   // which sim-times — any drift means the run's failure story changed, which
   // is precisely what the gate exists to catch.

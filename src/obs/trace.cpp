@@ -46,9 +46,12 @@ Span Tracer::span(std::string name, std::string category, TrackId track) {
 SpanId Tracer::begin(std::string name, std::string category, TrackId track,
                      SpanId parent) {
   const common::SimTime now = clock_();
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   if (records_.size() >= max_spans_) {
-    ++dropped_;
+    const std::size_t total = ++dropped_;
+    const auto hook = drop_hook_;
+    lock.unlock();
+    if (hook) hook(total);
     return 0;
   }
   SpanRecord rec;
@@ -88,9 +91,12 @@ void Tracer::set_attr(SpanId id, std::string key, std::string value) {
 void Tracer::instant(std::string name, std::string category, TrackId track,
                      std::vector<std::pair<std::string, std::string>> attrs) {
   const common::SimTime now = clock_();
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   if (instants_.size() >= max_spans_) {
-    ++dropped_;
+    const std::size_t total = ++dropped_;
+    const auto hook = drop_hook_;
+    lock.unlock();
+    if (hook) hook(total);
     return;
   }
   instants_.push_back(InstantRecord{track, std::move(name),
@@ -98,9 +104,32 @@ void Tracer::instant(std::string name, std::string category, TrackId track,
                                     std::move(attrs)});
 }
 
+void Tracer::set_capacity(std::size_t max_spans) {
+  std::scoped_lock lock(mu_);
+  max_spans_ = max_spans;
+}
+
+void Tracer::set_drop_hook(std::function<void(std::size_t)> hook) {
+  std::scoped_lock lock(mu_);
+  drop_hook_ = std::move(hook);
+}
+
 std::vector<SpanRecord> Tracer::spans() const {
   std::scoped_lock lock(mu_);
   return records_;
+}
+
+std::vector<SpanRecord> Tracer::closed_spans() const {
+  const common::SimTime now = clock_();
+  std::scoped_lock lock(mu_);
+  std::vector<SpanRecord> out = records_;
+  for (auto& rec : out) {
+    if (rec.open()) {
+      rec.end = now;
+      rec.clamped = true;
+    }
+  }
+  return out;
 }
 
 std::vector<InstantRecord> Tracer::instants() const {

@@ -46,6 +46,9 @@ struct SpanRecord {
   std::string category;
   common::SimTime start = 0;
   common::SimTime end = -1;  // -1: still open
+  /// Set by closed_spans(): this record was still open at capture time and
+  /// its `end` is the capture clock, not a real end() call.
+  bool clamped = false;
   std::vector<std::pair<std::string, std::string>> attrs;
 
   bool open() const { return end < 0; }
@@ -127,8 +130,21 @@ class Tracer {
   void instant(std::string name, std::string category = {}, TrackId track = 0,
                std::vector<std::pair<std::string, std::string>> attrs = {});
 
+  /// Grow (or shrink) the span buffer.  Shrinking never discards already
+  /// recorded spans; it only lowers the ceiling for new ones.
+  void set_capacity(std::size_t max_spans);
+
+  /// Called (outside the tracer lock) whenever a span or instant is
+  /// dropped, with the running drop total — the simulation wires this to an
+  /// `obs_trace_dropped` gauge so silent drops surface in every snapshot.
+  void set_drop_hook(std::function<void(std::size_t)> hook);
+
   // ---- inspection / export ----
   std::vector<SpanRecord> spans() const;  // copy; includes open spans
+  /// Copy with every still-open span clamped shut at the current clock
+  /// (`clamped` set) — exporters and the profiler use this so truncated
+  /// runs render with real durations instead of end = -1 / zero.
+  std::vector<SpanRecord> closed_spans() const;
   std::vector<InstantRecord> instants() const;
   std::map<TrackId, std::string> tracks() const;
   std::size_t span_count() const;
@@ -139,6 +155,7 @@ class Tracer {
  private:
   std::function<common::SimTime()> clock_;
   std::size_t max_spans_;
+  std::function<void(std::size_t)> drop_hook_;
 
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;             // id = index + 1

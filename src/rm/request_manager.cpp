@@ -30,6 +30,7 @@ struct RequestManager::Job : std::enable_shared_from_this<Job> {
   RequestManager* rm = nullptr;
   RequestOptions options;
   std::vector<FileRequest> files;
+  std::vector<std::shared_ptr<Worker>> workers;  // created at submit time
   std::vector<FileOutcome> outcomes;
   std::function<void(RequestResult)> done;
   std::size_t next_index = 0;
@@ -79,7 +80,11 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                                    {{"phase", name}}, track);
   }
 
-  void start() {
+  /// Runs at submit time for every file, before any worker is admitted:
+  /// the rm.file span opens here, so time spent waiting behind the
+  /// max_concurrent limit is inside the span and the profiler can bill it
+  /// to queue-wait (the span's uncovered prefix before the first phase).
+  void enqueue() {
     outcome.started = sim().now();
     outcome.request = job->files[index];
     track = sim().tracer().new_track("rm " + outcome.request.filename);
@@ -88,7 +93,6 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     sim().metrics().counter("rm_files_submitted_total").add();
     sim().flight_recorder().record("rm", "file.queued",
                                    outcome.request.filename, {}, track);
-    next_phase("rm.lookup");
     outcome.local_name = job->options.local_path_prefix + "/" +
                          outcome.request.filename;
     if (!outcome.request.eret_module.empty()) {
@@ -99,6 +103,11 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
     if (monitor()) {
       monitor()->file_queued(outcome.request.filename, 0, sim().now());
     }
+  }
+
+  /// Admitted past the concurrency limit: the lifecycle proper begins.
+  void activate() {
+    next_phase("rm.lookup");
     // Step 0: logical file metadata (size, for the progress display).
     auto self = shared_from_this();
     rm().catalog_.lookup_logical_file(
@@ -222,7 +231,7 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
                              : job->options.stage_timeout;
     auto self = shared_from_this();
     hrm_client->stage(
-        replicas.front().url.path,
+        replicas.front().url.path, track,
         [self](Result<Bytes> staged) {
           if (self->terminal) return;
           if (staged) return self->begin_transfer();
@@ -232,20 +241,22 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
             return self->finish(Status(staged.error()));
           }
           self->sim().metrics().counter("rm_stage_retries_total").add();
+          // Backoff truncated to the remaining deadline budget: the retry
+          // fires no later than the deadline itself, where attempt_stage()
+          // gives up, instead of sleeping past the overall budget.  The
+          // exact sleep goes on the event so the profiler can bill the
+          // window to the backoff category.
+          const common::SimDuration delay = policy.backoff_within_deadline(
+              self->stage_attempts, self->stage_started, self->sim().now(),
+              self->sim().rng());
           self->sim().flight_recorder().record(
               "rm", "stage.retry", self->outcome.request.filename,
               {{"attempt", std::to_string(self->stage_attempts)},
-               {"error", staged.error().to_string()}},
+               {"error", staged.error().to_string()},
+               {"backoff_ns", std::to_string(delay)}},
               self->track);
-          // Backoff truncated to the remaining deadline budget: the retry
-          // fires no later than the deadline itself, where attempt_stage()
-          // gives up, instead of sleeping past the overall budget.
-          self->sim().schedule_after(
-              policy.backoff_within_deadline(self->stage_attempts,
-                                             self->stage_started,
-                                             self->sim().now(),
-                                             self->sim().rng()),
-              [self] { self->attempt_stage(); });
+          self->sim().schedule_after(delay,
+                                     [self] { self->attempt_stage(); });
         },
         timeout);
   }
@@ -385,12 +396,9 @@ struct RequestManager::Worker : std::enable_shared_from_this<Worker> {
 
 void RequestManager::Job::pump() {
   while (running < options.max_concurrent && next_index < files.size()) {
-    auto worker = std::make_shared<Worker>();
-    worker->job = shared_from_this();
-    worker->index = next_index++;
     ++running;
     publish_depth();
-    worker->start();
+    workers[next_index++]->activate();
   }
   publish_depth();
 }
@@ -398,6 +406,7 @@ void RequestManager::Job::pump() {
 void RequestManager::Job::worker_finished(std::size_t index,
                                           FileOutcome outcome) {
   outcomes[index] = std::move(outcome);
+  workers[index].reset();  // callbacks keep the worker alive while needed
   --running;
   ++finished;
   publish_depth();
@@ -436,6 +445,16 @@ void RequestManager::submit(std::vector<FileRequest> files,
       job->done(std::move(r));
     });
     return;
+  }
+  // Every file opens its rm.file span now; pump() admits them through the
+  // concurrency limit, so the pre-activation stretch is visible queue wait.
+  job->workers.reserve(job->files.size());
+  for (std::size_t i = 0; i < job->files.size(); ++i) {
+    auto worker = std::make_shared<Worker>();
+    worker->job = job;
+    worker->index = i;
+    worker->enqueue();
+    job->workers.push_back(std::move(worker));
   }
   job->pump();
 }

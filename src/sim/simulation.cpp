@@ -13,6 +13,14 @@ Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
   depth_gauge_ = &metrics_.gauge("sim_queue_depth");
   purge_counter_ = &metrics_.counter("sim_queue_purges");
   depth_gauge_->set(0.0);
+  // Surface span drops as a metric so truncated traces never fail silently
+  // (esg-report summary warns on it, profiles carry it).  The gauge is
+  // created lazily on the first drop: clean runs keep byte-identical
+  // snapshots.
+  tracer_.set_drop_hook([this](std::size_t dropped_total) {
+    metrics_.gauge("obs_trace_dropped")
+        .set(static_cast<double>(dropped_total));
+  });
 }
 
 void Simulation::push_event(Event event) {

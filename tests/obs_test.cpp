@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "esg/testbed.hpp"
@@ -17,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rm/monitor.hpp"
+#include "sim/simulation.hpp"
 
 namespace eo = esg::obs;
 namespace ee = esg::esg;
@@ -334,6 +336,123 @@ TEST(Tracer, ChromeTraceIsWellFormed) {
   // ts is 1500 ns -> 1.500 us.
   EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
   EXPECT_NE(json.find("va\\\"lue"), std::string::npos);
+  // The still-open span is clamped at the capture clock and marked.
+  EXPECT_NE(json.find("\"clamped\":\"true\""), std::string::npos);
+}
+
+TEST(Tracer, ClosedSpansClampOpenSpansAtCaptureClock) {
+  ec::SimTime now = 100;
+  eo::Tracer tracer([&now] { return now; });
+  auto finished = tracer.span("finished");
+  now = 200;
+  finished.end();
+  auto open = tracer.span("open");
+  now = 350;
+
+  const auto closed = tracer.closed_spans();
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].end, 200);
+  EXPECT_FALSE(closed[0].clamped);
+  EXPECT_EQ(closed[1].end, 350);  // capture clock, not -1
+  EXPECT_TRUE(closed[1].clamped);
+  EXPECT_EQ(closed[1].duration(), 150);  // started at 200, clamped at 350
+  // The live records are untouched: the span is still open.
+  EXPECT_TRUE(tracer.spans()[1].open());
+}
+
+TEST(Tracer, DropHookReportsRunningTotalAndCapacityGrows) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; }, /*max_spans=*/1);
+  std::vector<std::size_t> totals;
+  tracer.set_drop_hook([&](std::size_t total) { totals.push_back(total); });
+  auto a = tracer.span("a");
+  auto b = tracer.span("b");  // dropped
+  auto c = tracer.span("c");  // dropped
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0], 1u);
+  EXPECT_EQ(totals[1], 2u);
+  tracer.set_capacity(8);
+  auto d = tracer.span("d");  // fits again
+  EXPECT_TRUE(static_cast<bool>(d));
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST(Tracer, SimulationSurfacesDropsAsGauge) {
+  esg::sim::Simulation sim{1};
+  // A clean run must not even create the series (snapshots stay
+  // byte-identical with pre-gauge baselines).
+  EXPECT_EQ(sim.metrics().snapshot(0).value_or("obs_trace_dropped", {}),
+            0.0);
+  sim.tracer().set_capacity(1);
+  auto a = sim.tracer().span("a");
+  auto b = sim.tracer().span("b");  // dropped -> gauge appears
+  EXPECT_EQ(sim.metrics().snapshot(0).value_or("obs_trace_dropped", {}),
+            1.0);
+}
+
+// ------------------------------------------------------- span move hygiene
+
+TEST(Span, MoveAssignEndsTheOverwrittenSpan) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  auto a = tracer.span("a");
+  now = 10;
+  auto b = tracer.span("b");
+  now = 20;
+  a = std::move(b);  // "a" must end now, not leak open
+  const auto spans = tracer.spans();
+  EXPECT_EQ(spans[0].end, 20);
+  EXPECT_TRUE(spans[1].open());
+  EXPECT_EQ(a.id(), spans[1].id);
+}
+
+TEST(Span, SelfMoveAssignIsANoOp) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  auto a = tracer.span("a");
+  // Via a pointer so the self-move is invisible to -Wself-move.
+  eo::Span* alias = &a;
+  a = std::move(*alias);
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_TRUE(tracer.spans()[0].open());  // still open, not self-ended
+}
+
+TEST(Span, DoubleEndAndMovedFromDestructionAreHarmless) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  {
+    auto a = tracer.span("a");
+    now = 5;
+    a.end();
+    now = 9;
+    a.end();  // second end must not move the timestamp
+    eo::Span b = std::move(a);
+    (void)b;
+    // both a (moved-from) and b (already ended) destruct here
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end, 5);
+}
+
+TEST(Tracer, ExplicitParentCrossesTracks) {
+  ec::SimTime now = 0;
+  eo::Tracer tracer([&now] { return now; });
+  const auto t1 = tracer.new_track("request");
+  const auto t2 = tracer.new_track("io pool");
+  const auto root = tracer.begin("request", "", t1);
+  // Work handed to another track keeps its causal parent when given
+  // explicitly; inference only consults the *local* open stack.
+  const auto remote = tracer.begin("io", "", t2, root);
+  const auto inferred = tracer.begin("io.child", "", t2);
+  tracer.end(inferred);
+  tracer.end(remote);
+  tracer.end(root);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].track, t2);
+  EXPECT_EQ(spans[2].parent, spans[1].id);  // inferred from t2's stack
 }
 
 // --------------------------------------------------------------- exporters
@@ -359,6 +478,24 @@ TEST(Exporters, PrometheusTextFormat) {
             std::string::npos);
   EXPECT_NE(text.find("wait_seconds_sum 33.5"), std::string::npos);
   EXPECT_NE(text.find("wait_seconds_count 3"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues) {
+  // The exposition format requires \\, \" and \n escapes inside label
+  // values; a path or error-message label with any of them used to emit an
+  // unparseable line.
+  eo::MetricsRegistry reg;
+  reg.counter("weird_total", {{"path", "dir\\file \"x\"\nnext"}}).add(1);
+  const std::string text = eo::to_prometheus_text(reg.snapshot(0));
+  EXPECT_NE(text.find("path=\"dir\\\\file \\\"x\\\"\\nnext\""),
+            std::string::npos);
+  // No raw newline may survive inside a sample line.
+  const auto pos = text.find("weird_total{");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = text.find('\n', pos);
+  const std::string line = text.substr(pos, line_end - pos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("} 1"), std::string::npos);
 }
 
 TEST(Exporters, JsonSnapshotIsWellFormed) {

@@ -86,4 +86,12 @@ gate_manifest(chaos)
 gate_manifest(campaign)
 gate_manifest(explore)
 
+# Smoke the profile reporting path end-to-end: the chaos manifest carries a
+# profile section, so critical-path and flame must both succeed on it.
+run_bench("esg-report critical-path MANIFEST_chaos.json"
+          "${ESG_REPORT}" critical-path "${WORK_DIR}/MANIFEST_chaos.json")
+run_bench("esg-report flame MANIFEST_chaos.json"
+          "${ESG_REPORT}" flame "${WORK_DIR}/MANIFEST_chaos.json"
+          --out "${WORK_DIR}/chaos.folded")
+
 message(STATUS "bench_gate: all manifests within tolerance ${TOLERANCE}")
